@@ -1,0 +1,255 @@
+// E2 (§V.B.3 computation analysis): primitive costs for both parameter
+// sets. The paper cites ~20 ms for a Tate pairing at 1024-bit-RSA-equivalent
+// security [31] and argues the patient path uses only symmetric-key
+// operations while the P-device pays two pairings (with precomputation)
+// during role-based authentication.
+#include <benchmark/benchmark.h>
+
+#include "src/cipher/drbg.h"
+#include "src/ibc/ibe.h"
+#include "src/ibc/ibs.h"
+#include "src/peks/peks.h"
+
+namespace {
+
+using namespace hcpp;
+
+const curve::CurveCtx& ctx_for(int64_t set) {
+  return curve::params(set == 0 ? curve::ParamSet::kTest
+                                : curve::ParamSet::kProduction);
+}
+
+const char* set_name(int64_t set) {
+  return set == 0 ? "p256/q150(test)" : "p512/q160(production)";
+}
+
+void BM_TatePairing(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-pairing"));
+  curve::Point g = curve::generator(ctx);
+  curve::Point p = curve::mul(ctx, g, curve::random_scalar(ctx, rng));
+  curve::Point q = curve::mul(ctx, g, curve::random_scalar(ctx, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve::pairing(ctx, p, q));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_TatePairing)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ScalarMul(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-mul"));
+  curve::Point g = curve::generator(ctx);
+  mp::U512 k = curve::random_scalar(ctx, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve::mul(ctx, g, k));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_ScalarMul)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ScalarMulWnaf(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-wnaf"));
+  curve::Point g = curve::generator(ctx);
+  mp::U512 k = curve::random_scalar(ctx, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve::mul_wnaf(ctx, g, k));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_ScalarMulWnaf)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ScalarMulFixedBase(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-fixedbase"));
+  mp::U512 k = curve::random_scalar(ctx, rng);
+  (void)curve::mul_generator(ctx, k);  // build the table outside the loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve::mul_generator(ctx, k));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_ScalarMulFixedBase)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HashToPoint(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        curve::hash_to_point(ctx, to_bytes("id-" + std::to_string(i++))));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_HashToPoint)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_IbeEncrypt(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-ibe"));
+  ibc::Domain domain(ctx, rng);
+  Bytes msg(256, 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ibc::ibe_encrypt(domain.pub(), "p-device", msg, rng));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_IbeEncrypt)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_IbeDecrypt(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-ibe-dec"));
+  ibc::Domain domain(ctx, rng);
+  curve::Point priv = domain.extract("p-device");
+  ibc::IbeCiphertext ct =
+      ibc::ibe_encrypt(domain.pub(), "p-device", Bytes(256, 0x5a), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibc::ibe_decrypt(ctx, priv, ct));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_IbeDecrypt)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_IbsSign(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-ibs"));
+  ibc::Domain domain(ctx, rng);
+  curve::Point priv = domain.extract("dr-a");
+  Bytes msg = to_bytes("emergency passcode request");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibc::ibs_sign(ctx, priv, "dr-a", msg, rng));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_IbsSign)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_IbsVerify(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-ibs-v"));
+  ibc::Domain domain(ctx, rng);
+  Bytes msg = to_bytes("emergency passcode request");
+  ibc::IbsSignature sig =
+      ibc::ibs_sign(ctx, domain.extract("dr-a"), "dr-a", msg, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibc::ibs_verify(domain.pub(), "dr-a", msg, sig));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_IbsVerify)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_PeksEncrypt(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-peks"));
+  ibc::Domain domain(ctx, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        peks::peks_encrypt(domain.pub(), "role", "day:2011-04-12", rng));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_PeksEncrypt)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_PeksTest(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-peks-t"));
+  ibc::Domain domain(ctx, rng);
+  peks::PeksCiphertext ct =
+      peks::peks_encrypt(domain.pub(), "role", "kw", rng);
+  peks::Trapdoor td =
+      peks::peks_trapdoor(ctx, domain.extract("role"), "kw");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(peks::peks_test(ctx, ct, td));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_PeksTest)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Precomputation ablation (§V.B.3: "IBE and PEKS ... can be pre-computed
+// (offline). ... With pre-computation, P-device computes two pairings"):
+// hoisting ê(Q_id, Ppub) removes one pairing from each operation.
+void BM_IbeEncryptPrecomputed(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-ibe-pre"));
+  ibc::Domain domain(ctx, rng);
+  ibc::IbePrecomputed pre(domain.pub(), "p-device");
+  Bytes msg(256, 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pre.encrypt(msg, rng));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_IbeEncryptPrecomputed)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IbsVerifyPrecomputed(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-ibs-pre"));
+  ibc::Domain domain(ctx, rng);
+  Bytes msg = to_bytes("emergency passcode request");
+  ibc::IbsSignature sig =
+      ibc::ibs_sign(ctx, domain.extract("dr-a"), "dr-a", msg, rng);
+  ibc::IbsVerifier verifier(domain.pub(), "dr-a");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.verify(msg, sig));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_IbsVerifyPrecomputed)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// CCA (FullIdent/FO) vs CPA (BasicIdent) overhead.
+void BM_IbeCcaEncrypt(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-cca"));
+  ibc::Domain domain(ctx, rng);
+  Bytes msg(256, 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibc::ibe_encrypt_cca(domain.pub(), "id", msg,
+                                                  rng));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_IbeCcaEncrypt)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_IbeCcaDecrypt(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-cca-dec"));
+  ibc::Domain domain(ctx, rng);
+  curve::Point priv = domain.extract("id");
+  ibc::IbeCcaCiphertext ct =
+      ibc::ibe_encrypt_cca(domain.pub(), "id", Bytes(256, 0x5a), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibc::ibe_decrypt_cca(ctx, domain.pub(), priv,
+                                                  ct));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_IbeCcaDecrypt)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// The symmetric patient path (§V.B.3: "only computationally-efficient
+// symmetric key operations") — microsecond scale, for contrast.
+void BM_SharedKeyDerivation(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-shared"));
+  ibc::Domain domain(ctx, rng);
+  curve::Point gamma = domain.extract("patient");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibc::shared_key_with_id(ctx, gamma, "s-server"));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_SharedKeyDerivation)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+// E1 (Fig. 2) + E4 (§V.B.1/3): secure-index construction cost vs. collection
+// size, SEARCH cost independence from N (the O(1) table hit of [30]), and
+// trapdoor generation cost.
+#include <benchmark/benchmark.h>
+
+#include "src/cipher/drbg.h"
+#include "src/core/record.h"
+#include "src/sse/adaptive.h"
+#include "src/sse/sse.h"
+
+namespace {
+
+using namespace hcpp;
+
+std::vector<sse::PlainFile> files_of(size_t n) {
+  cipher::Drbg rng(to_bytes("bench-sse-files"));
+  return core::generate_phi_collection(n, rng);
+}
+
+void BM_BuildIndex(benchmark::State& state) {
+  auto files = files_of(static_cast<size_t>(state.range(0)));
+  cipher::Drbg rng(to_bytes("bench-sse-build"));
+  sse::Keys keys = sse::Keys::generate(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sse::build_index(files, keys, rng));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildIndex)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EncryptCollection(benchmark::State& state) {
+  auto files = files_of(static_cast<size_t>(state.range(0)));
+  cipher::Drbg rng(to_bytes("bench-sse-enc"));
+  sse::Keys keys = sse::Keys::generate(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sse::encrypt_collection(files, keys, rng));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EncryptCollection)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+// §V.B.3: the table hit is O(1); the walk is O(|result|). With the keyword
+// vocabulary fixed, result-list length is ~N/|vocab|, so we benchmark both a
+// fixed-size list (constant work regardless of N) and the raw table miss.
+void BM_SearchFixedResultList(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto files = files_of(n);
+  // Plant one keyword appearing in exactly 4 files regardless of N.
+  for (size_t i = 0; i < 4; ++i) files[i * (n / 4)].keywords.push_back("probe");
+  cipher::Drbg rng(to_bytes("bench-sse-search"));
+  sse::Keys keys = sse::Keys::generate(rng);
+  sse::SecureIndex si = sse::build_index(files, keys, rng);
+  sse::Trapdoor td = sse::make_trapdoor(keys, "probe");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sse::search(si, td));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SearchFixedResultList)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity(benchmark::o1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SearchMiss(benchmark::State& state) {
+  auto files = files_of(static_cast<size_t>(state.range(0)));
+  cipher::Drbg rng(to_bytes("bench-sse-miss"));
+  sse::Keys keys = sse::Keys::generate(rng);
+  sse::SecureIndex si = sse::build_index(files, keys, rng);
+  sse::Trapdoor td = sse::make_trapdoor(keys, "absent-keyword");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sse::search(si, td));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SearchMiss)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity(benchmark::o1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MakeTrapdoor(benchmark::State& state) {
+  cipher::Drbg rng(to_bytes("bench-sse-td"));
+  sse::Keys keys = sse::Keys::generate(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sse::make_trapdoor(keys, "category:allergy"));
+  }
+}
+BENCHMARK(BM_MakeTrapdoor)->Unit(benchmark::kMicrosecond);
+
+void BM_WrapUnwrapTrapdoor(benchmark::State& state) {
+  cipher::Drbg rng(to_bytes("bench-sse-wrap"));
+  sse::Keys keys = sse::Keys::generate(rng);
+  sse::Trapdoor td = sse::make_trapdoor(keys, "kw");
+  for (auto _ : state) {
+    Bytes wrapped = sse::wrap_trapdoor(keys.d, td);
+    benchmark::DoNotOptimize(sse::unwrap_trapdoor(keys.d, wrapped));
+  }
+}
+BENCHMARK(BM_WrapUnwrapTrapdoor)->Unit(benchmark::kMicrosecond);
+
+// ---- Adaptive (SSE-2-style) comparison — the §II.B drop-in ------------------
+
+void BM_AdaptiveBuildIndex(benchmark::State& state) {
+  auto files = files_of(static_cast<size_t>(state.range(0)));
+  cipher::Drbg rng(to_bytes("bench-adp-build"));
+  Bytes key = rng.bytes(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sse::adaptive::build_index(files, key, rng));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AdaptiveBuildIndex)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AdaptiveSearch(benchmark::State& state) {
+  auto files = files_of(static_cast<size_t>(state.range(0)));
+  cipher::Drbg rng(to_bytes("bench-adp-search"));
+  Bytes key = rng.bytes(32);
+  sse::adaptive::AdaptiveIndex index =
+      sse::adaptive::build_index(files, key, rng);
+  sse::adaptive::AdaptiveTrapdoor td = sse::adaptive::make_trapdoor(
+      key, files[0].keywords[0], index.bound);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sse::adaptive::search(index, td));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AdaptiveSearch)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+// Trapdoor-size trade (constant for SSE-1, O(bound) for adaptive) reported
+// as counters.
+void BM_TrapdoorSizes(benchmark::State& state) {
+  auto files = files_of(256);
+  cipher::Drbg rng(to_bytes("bench-td-sizes"));
+  sse::Keys keys = sse::Keys::generate(rng);
+  Bytes adp_key = rng.bytes(32);
+  sse::adaptive::AdaptiveIndex index =
+      sse::adaptive::build_index(files, adp_key, rng);
+  size_t sse1 = 0, sse2 = 0;
+  for (auto _ : state) {
+    sse1 = sse::make_trapdoor(keys, "kw").to_bytes().size();
+    sse2 = sse::adaptive::make_trapdoor(adp_key, "kw", index.bound)
+               .to_bytes()
+               .size();
+    benchmark::DoNotOptimize(sse1 + sse2);
+  }
+  state.counters["sse1_trapdoor_bytes"] = static_cast<double>(sse1);
+  state.counters["adaptive_trapdoor_bytes"] = static_cast<double>(sse2);
+  state.counters["adaptive_bound"] = static_cast<double>(index.bound);
+}
+BENCHMARK(BM_TrapdoorSizes)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// E7 (§V.B.3): the symmetric substrate the patient path runs on —
+// ChaCha20 vs AES-128-CTR vs HMAC-SHA256 vs the composed AEAD, across
+// message sizes. Supports the paper's claim that patient-side protocol
+// work is "computationally-efficient symmetric key operations".
+#include <benchmark/benchmark.h>
+
+#include "src/cipher/aead.h"
+#include "src/cipher/aes.h"
+#include "src/cipher/chacha20.h"
+#include "src/cipher/drbg.h"
+#include "src/hash/hmac.h"
+#include "src/hash/sha256.h"
+
+namespace {
+
+using namespace hcpp;
+
+void BM_ChaCha20(benchmark::State& state) {
+  Bytes key(32, 1), nonce(12, 2);
+  Bytes data(static_cast<size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cipher::chacha20(key, nonce, 0, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_Aes128Ctr(benchmark::State& state) {
+  cipher::Aes128 aes(Bytes(16, 1));
+  Bytes nonce(12, 2);
+  Bytes data(static_cast<size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes.ctr(nonce, 0, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Aes128Ctr)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::sha256(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Bytes key(32, 1);
+  Bytes data(static_cast<size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_AeadSeal(benchmark::State& state) {
+  cipher::Drbg rng(to_bytes("bench-aead"));
+  Bytes key(32, 1);
+  Bytes data(static_cast<size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cipher::aead_encrypt(key, data, {}, rng));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_AeadOpen(benchmark::State& state) {
+  cipher::Drbg rng(to_bytes("bench-aead-open"));
+  Bytes key(32, 1);
+  Bytes data(static_cast<size_t>(state.range(0)), 0x5a);
+  Bytes box = cipher::aead_encrypt(key, data, {}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cipher::aead_decrypt(key, box, {}));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadOpen)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_DrbgFill(benchmark::State& state) {
+  cipher::Drbg rng(to_bytes("bench-drbg"));
+  Bytes buf(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    rng.fill(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DrbgFill)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

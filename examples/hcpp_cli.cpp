@@ -1,0 +1,179 @@
+// Scriptable command-line driver for a full HCPP deployment — useful for
+// exploring the system interactively or replaying scenario scripts.
+//
+//   $ ./hcpp_cli              # reads commands from stdin
+//   $ echo "store 16
+//   keywords
+//   retrieve category:imaging
+//   emergency dr-on-duty category:imaging
+//   audit
+//   stats" | ./hcpp_cli
+//
+// Commands:
+//   store <n>                 generate n PHI files and run §IV.B storage
+//   keywords                  list the patient's keyword dictionary
+//   retrieve <kw>             §IV.D common-case retrieval
+//   family <kw>               §IV.E.1 family emergency retrieval
+//   emergency <physician> <kw>  full §IV.E.2 P-device flow
+//   onduty <physician> on|off   edit the published on-duty list
+//   revoke family|pdevice     §IV.C REVOKE
+//   audit                     verify RD/TR records (§V.A)
+//   stats                     traffic accounting per protocol
+//   help / quit
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "src/core/setup.h"
+
+using namespace hcpp;
+using namespace hcpp::core;
+
+namespace {
+
+void cmd_store(Deployment& d, size_t n) {
+  d.patient->add_files(generate_phi_collection(
+      n, d.patient->rng(),
+      d.patient->files().empty() ? 1 : d.patient->files().back().id + 1));
+  bool ok = d.patient->store_phi(*d.sserver) &&
+            assign_privilege(*d.patient, *d.family, d.mu_family) &&
+            assign_privilege(*d.patient, *d.pdevice, d.mu_pdevice);
+  std::printf("stored %zu files total -> %s\n", d.patient->files().size(),
+              ok ? "ok" : "FAILED");
+}
+
+void cmd_retrieve(Deployment& d, const std::string& kw) {
+  std::vector<std::string> kws = {kw};
+  auto files = d.patient->retrieve(*d.sserver, kws);
+  std::printf("%zu file(s):", files.size());
+  for (const auto& f : files) std::printf(" %s", f.name.c_str());
+  std::printf("\n");
+}
+
+void cmd_family(Deployment& d, const std::string& kw) {
+  std::vector<std::string> kws = {kw};
+  auto files = d.family->emergency_retrieve(*d.sserver, kws);
+  std::printf("family retrieved %zu file(s)\n", files.size());
+}
+
+void cmd_emergency(Deployment& d, const std::string& physician,
+                   const std::string& kw) {
+  Physician* doc = nullptr;
+  if (physician == d.on_duty->id()) doc = d.on_duty.get();
+  if (physician == d.off_duty->id()) doc = d.off_duty.get();
+  if (doc == nullptr) {
+    std::printf("unknown physician '%s' (try %s or %s)\n", physician.c_str(),
+                d.on_duty->id().c_str(), d.off_duty->id().c_str());
+    return;
+  }
+  d.pdevice->press_emergency_button();
+  auto pass = doc->request_passcode(*d.aserver, d.patient->tp_bytes());
+  if (!pass.has_value()) {
+    std::printf("A-server denied the passcode (off duty?)\n");
+    return;
+  }
+  if (!d.pdevice->deliver_passcode(*d.aserver, pass->for_device) ||
+      !d.pdevice->enter_passcode(doc->id(), pass->nonce)) {
+    std::printf("P-device rejected the passcode\n");
+    return;
+  }
+  std::vector<std::string> kws = {kw};
+  auto files = d.pdevice->emergency_retrieve(*d.sserver, kws);
+  std::printf("P-device retrieved %zu file(s); RD records: %zu; patient "
+              "alerts: %d\n",
+              files.size(), d.pdevice->records().size(),
+              d.pdevice->alert_count());
+}
+
+void cmd_audit(Deployment& d) {
+  std::vector<std::string> all = d.all_keywords();
+  std::set<std::string> permitted(all.begin(), all.end());
+  AuditReport report =
+      audit(d.aserver->pub(), d.aserver->id(), d.aserver->traces(),
+            d.pdevice->records(), permitted);
+  std::printf("accountable:");
+  for (const auto& id : report.accountable) std::printf(" %s", id.c_str());
+  std::printf("\nimproper searchers:");
+  for (const auto& id : report.improper_searchers) {
+    std::printf(" %s", id.c_str());
+  }
+  std::printf("\ninconsistencies: %zu\n", report.inconsistencies);
+}
+
+void cmd_stats(Deployment& d) {
+  sim::TrafficStats t = d.net->total();
+  std::printf("total: %llu messages, %llu bytes; simulated clock %.2f ms\n",
+              static_cast<unsigned long long>(t.messages),
+              static_cast<unsigned long long>(t.bytes),
+              static_cast<double>(d.net->clock().now()) / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  DeploymentConfig cfg;
+  cfg.n_phi_files = 8;
+  Deployment d = Deployment::create(cfg);
+  std::printf("hcpp_cli ready (8 files pre-stored; physicians: %s on duty, "
+              "%s off duty). 'help' for commands.\n",
+              d.on_duty->id().c_str(), d.off_duty->id().c_str());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    try {
+      if (cmd == "store") {
+        size_t n = 0;
+        in >> n;
+        cmd_store(d, n == 0 ? 8 : n);
+      } else if (cmd == "keywords") {
+        for (const std::string& kw : d.all_keywords()) {
+          std::printf("  %s\n", kw.c_str());
+        }
+      } else if (cmd == "retrieve") {
+        std::string kw;
+        in >> kw;
+        cmd_retrieve(d, kw);
+      } else if (cmd == "family") {
+        std::string kw;
+        in >> kw;
+        cmd_family(d, kw);
+      } else if (cmd == "emergency") {
+        std::string doc, kw;
+        in >> doc >> kw;
+        cmd_emergency(d, doc, kw);
+      } else if (cmd == "onduty") {
+        std::string doc, state;
+        in >> doc >> state;
+        d.aserver->set_on_duty(doc, state == "on");
+        std::printf("%s is now %s duty\n", doc.c_str(),
+                    state == "on" ? "on" : "off");
+      } else if (cmd == "revoke") {
+        std::string who;
+        in >> who;
+        size_t slot = (who == "family") ? kFamilySlot : kPDeviceSlot;
+        std::printf("revoke %s -> %s\n", who.c_str(),
+                    d.patient->revoke_member(*d.sserver, slot) ? "ok"
+                                                               : "FAILED");
+      } else if (cmd == "audit") {
+        cmd_audit(d);
+      } else if (cmd == "stats") {
+        cmd_stats(d);
+      } else if (cmd == "help") {
+        std::printf(
+            "store <n> | keywords | retrieve <kw> | family <kw> | "
+            "emergency <dr> <kw> | onduty <dr> on|off | revoke "
+            "family|pdevice | audit | stats | quit\n");
+      } else {
+        std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  return 0;
+}

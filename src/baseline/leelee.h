@@ -1,0 +1,87 @@
+// Baseline 1 (§I.A): Lee & Lee, "A cryptographic key management solution for
+// HIPAA privacy/security regulations" [10]. Patients hold smart-card keys;
+// PHI is encrypted per patient; emergencies are handled by a *trusted escrow
+// server that holds every patient's secret keys*. The paper's critique —
+// which benchmark E5 demonstrates — is that the escrow can decrypt any PHI
+// at any time, and that storage is linkable to patient identity.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/sim/network.h"
+#include "src/sse/sse.h"
+
+namespace hcpp::baseline {
+
+/// Privacy scorecard used by the E5 comparison.
+struct PrivacyProperties {
+  bool escrow_free = false;        // no third party can decrypt alone
+  bool unlinkable_storage = false; // server cannot map records to patients
+  bool keyword_private = false;    // server never sees search keywords
+  bool emergency_capable = false;  // PHI reachable when patient is down
+};
+
+class LeeLeeSystem {
+ public:
+  LeeLeeSystem(sim::Network& net, RandomSource& seed);
+
+  /// Issues the smart-card key; the escrow server keeps a copy (the consent
+  /// exception of [10]).
+  void register_patient(const std::string& patient_id);
+
+  /// Stores the files under the patient's identity — the server sees
+  /// (patient id, keyword list, ciphertext).
+  bool store_phi(const std::string& patient_id,
+                 std::span<const sse::PlainFile> files);
+
+  /// Normal flow: patient presents the smart-card key and a keyword.
+  [[nodiscard]] std::vector<sse::PlainFile> retrieve_with_consent(
+      const std::string& patient_id, std::string_view keyword);
+
+  /// Emergency flow: the escrow server supplies the key — works without the
+  /// patient, which is the feature...
+  [[nodiscard]] std::vector<sse::PlainFile> emergency_retrieve(
+      const std::string& patient_id, std::string_view keyword);
+
+  /// ...and the flaw: the escrow can silently read everything at any time.
+  /// Returns every plaintext file of the patient without any consent signal.
+  [[nodiscard]] std::vector<sse::PlainFile> escrow_read_all(
+      const std::string& patient_id) const;
+
+  /// What the storage server can observe.
+  [[nodiscard]] std::vector<std::string> server_visible_patient_ids() const;
+  [[nodiscard]] std::vector<std::string> server_visible_keywords(
+      const std::string& patient_id) const;
+
+  static PrivacyProperties properties() {
+    return {.escrow_free = false,
+            .unlinkable_storage = false,
+            .keyword_private = false,
+            .emergency_capable = true};
+  }
+
+ private:
+  struct StoredFile {
+    sse::FileId id;
+    std::vector<std::string> keywords;  // plaintext, server-visible
+    Bytes blob;
+  };
+  struct PatientAccount {
+    Bytes smart_card_key;  // also escrowed
+    std::vector<StoredFile> files;
+  };
+
+  [[nodiscard]] std::vector<sse::PlainFile> decrypt_matching(
+      const PatientAccount& acct, std::string_view keyword,
+      BytesView key) const;
+
+  sim::Network* net_;
+  std::map<std::string, PatientAccount> accounts_;  // escrow + storage in one
+  mutable std::unique_ptr<RandomSource> rng_;
+};
+
+}  // namespace hcpp::baseline

@@ -1,0 +1,122 @@
+#include "src/be/broadcast.h"
+
+#include <stdexcept>
+
+#include "src/cipher/aead.h"
+#include "src/hash/hmac.h"
+
+namespace hcpp::be {
+
+namespace {
+size_t round_up_pow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+BroadcastGroup::BroadcastGroup(size_t capacity, RandomSource& rng)
+    : leaves_(round_up_pow2(std::max<size_t>(2, capacity))),
+      master_(rng.bytes(32)) {}
+
+Bytes BroadcastGroup::node_key(uint64_t node) const {
+  uint8_t msg[8];
+  for (int i = 0; i < 8; ++i) msg[i] = static_cast<uint8_t>(node >> (8 * i));
+  return hash::hmac_sha256(master_, BytesView(msg, 8));
+}
+
+MemberKeys BroadcastGroup::issue(size_t member) const {
+  if (member >= leaves_) {
+    throw std::out_of_range("BroadcastGroup::issue: no such slot");
+  }
+  MemberKeys mk;
+  mk.index = member;
+  // Heap numbering: root = 1, leaf = leaves_ + member.
+  for (uint64_t node = leaves_ + member; node >= 1; node /= 2) {
+    mk.path_keys.emplace_back(node, node_key(node));
+    if (node == 1) break;
+  }
+  return mk;
+}
+
+void BroadcastGroup::revoke(size_t member) {
+  if (member >= leaves_) {
+    throw std::out_of_range("BroadcastGroup::revoke: no such slot");
+  }
+  revoked_.insert(member);
+}
+
+void BroadcastGroup::reinstate(size_t member) { revoked_.erase(member); }
+
+void BroadcastGroup::cover(uint64_t node, size_t lo, size_t hi,
+                           std::vector<uint64_t>& out) const {
+  // Leaves in [lo, hi); determine revocation status of the range.
+  auto it = revoked_.lower_bound(lo);
+  bool any_revoked = (it != revoked_.end() && *it < hi);
+  if (!any_revoked) {
+    out.push_back(node);
+    return;
+  }
+  if (hi - lo == 1) return;  // a revoked leaf: drop it
+  size_t mid = lo + (hi - lo) / 2;
+  cover(2 * node, lo, mid, out);
+  cover(2 * node + 1, mid, hi, out);
+}
+
+Bytes BroadcastGroup::encrypt(BytesView payload, RandomSource& rng) const {
+  std::vector<uint64_t> nodes;
+  cover(1, 0, leaves_, nodes);
+  io::Writer w;
+  w.u32(static_cast<uint32_t>(nodes.size()));
+  for (uint64_t node : nodes) {
+    w.u64(node);
+    Bytes key = node_key(node);
+    w.bytes(cipher::aead_encrypt(key, payload, {}, rng));
+    secure_wipe(key);
+  }
+  return w.take();
+}
+
+std::optional<Bytes> decrypt(const MemberKeys& keys, BytesView ciphertext) {
+  try {
+    io::Reader r(ciphertext);
+    uint32_t n = r.u32();
+    for (uint32_t i = 0; i < n; ++i) {
+      uint64_t node = r.u64();
+      Bytes blob = r.bytes();
+      for (const auto& [path_node, key] : keys.path_keys) {
+        if (path_node == node) {
+          return cipher::aead_decrypt(key, blob, {});
+        }
+      }
+    }
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+Bytes MemberKeys::to_bytes() const {
+  io::Writer w;
+  w.u64(index);
+  w.u32(static_cast<uint32_t>(path_keys.size()));
+  for (const auto& [node, key] : path_keys) {
+    w.u64(node);
+    w.bytes(key);
+  }
+  return w.take();
+}
+
+MemberKeys MemberKeys::from_bytes(BytesView b) {
+  io::Reader r(b);
+  MemberKeys mk;
+  mk.index = r.u64();
+  uint32_t n = r.u32();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t node = r.u64();
+    mk.path_keys.emplace_back(node, r.bytes());
+  }
+  return mk;
+}
+
+}  // namespace hcpp::be

@@ -1,0 +1,60 @@
+// Broadcast encryption for the privilege key d (§IV.C): the complete-subtree
+// method (Naor–Naor–Lotspiech). The patient is the group manager; family
+// members and P-devices are leaves. BE_U(d) is decryptable exactly by the
+// non-revoked leaves, so REVOKE is: re-key d, re-broadcast — the lost
+// P-device can no longer follow.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/serialize.h"
+
+namespace hcpp::be {
+
+/// Key material handed to one member (the paper's X): the keys of every
+/// tree node on the member's leaf-to-root path, O(log n) of them.
+struct MemberKeys {
+  size_t index = 0;                                  // leaf slot
+  std::vector<std::pair<uint64_t, Bytes>> path_keys;  // node id -> key
+
+  [[nodiscard]] Bytes to_bytes() const;
+  static MemberKeys from_bytes(BytesView b);
+};
+
+class BroadcastGroup {
+ public:
+  /// `capacity` members max (rounded up to a power of two), fresh master key.
+  BroadcastGroup(size_t capacity, RandomSource& rng);
+
+  /// Issues (or re-issues) the path keys for leaf slot `member`.
+  [[nodiscard]] MemberKeys issue(size_t member) const;
+
+  void revoke(size_t member);
+  void reinstate(size_t member);
+  [[nodiscard]] const std::set<size_t>& revoked() const noexcept {
+    return revoked_;
+  }
+  [[nodiscard]] size_t capacity() const noexcept { return leaves_; }
+
+  /// BE_U(payload) for the current non-revoked set U. Ciphertext size is
+  /// O(r·log(n/r)) blocks for r revocations.
+  [[nodiscard]] Bytes encrypt(BytesView payload, RandomSource& rng) const;
+
+ private:
+  [[nodiscard]] Bytes node_key(uint64_t node) const;
+  void cover(uint64_t node, size_t lo, size_t hi,
+             std::vector<uint64_t>& out) const;
+
+  size_t leaves_;
+  Bytes master_;
+  std::set<size_t> revoked_;
+};
+
+/// Member-side decryption; nullopt when the member is revoked (no cover node
+/// lies on its path) or the blob is malformed.
+std::optional<Bytes> decrypt(const MemberKeys& keys, BytesView ciphertext);
+
+}  // namespace hcpp::be

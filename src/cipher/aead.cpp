@@ -1,0 +1,83 @@
+#include "src/cipher/aead.h"
+
+#include <stdexcept>
+
+#include "src/cipher/chacha20.h"
+#include "src/hash/hkdf.h"
+#include "src/hash/hmac.h"
+
+namespace hcpp::cipher {
+
+namespace {
+
+constexpr size_t kNonceSize = 12;
+constexpr size_t kTagSize = 32;
+
+// Splits the user key into independent encryption and MAC keys.
+void derive_keys(BytesView key, Bytes& enc_key, Bytes& mac_key) {
+  if (key.size() != kAeadKeySize) {
+    throw std::invalid_argument("aead: key must be 32 bytes");
+  }
+  Bytes okm = hash::hkdf(key, {}, to_bytes("hcpp-aead-v1"), 64);
+  enc_key.assign(okm.begin(), okm.begin() + 32);
+  mac_key.assign(okm.begin() + 32, okm.end());
+}
+
+Bytes mac_input(BytesView nonce, BytesView ciphertext, BytesView aad) {
+  // Unambiguous framing: aad_len || aad || nonce || ciphertext.
+  Bytes m;
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    m.push_back(static_cast<uint8_t>(aad.size() >> shift));
+  }
+  append(m, aad);
+  append(m, nonce);
+  append(m, ciphertext);
+  return m;
+}
+
+}  // namespace
+
+Bytes aead_encrypt_with_nonce(BytesView key, BytesView nonce,
+                              BytesView plaintext, BytesView aad) {
+  if (nonce.size() != kNonceSize) {
+    throw std::invalid_argument("aead: nonce must be 12 bytes");
+  }
+  Bytes enc_key, mac_key;
+  derive_keys(key, enc_key, mac_key);
+  Bytes ct = chacha20(enc_key, nonce, 1, plaintext);
+  Bytes tag = hash::hmac_sha256(mac_key, mac_input(nonce, ct, aad));
+  Bytes out;
+  append(out, nonce);
+  append(out, ct);
+  append(out, tag);
+  secure_wipe(enc_key);
+  secure_wipe(mac_key);
+  return out;
+}
+
+Bytes aead_encrypt(BytesView key, BytesView plaintext, BytesView aad,
+                   RandomSource& rng) {
+  Bytes nonce = rng.bytes(kNonceSize);
+  return aead_encrypt_with_nonce(key, nonce, plaintext, aad);
+}
+
+Bytes aead_decrypt(BytesView key, BytesView box, BytesView aad) {
+  if (box.size() < kNonceSize + kTagSize) throw AuthError();
+  BytesView nonce = box.subspan(0, kNonceSize);
+  BytesView ct = box.subspan(kNonceSize, box.size() - kNonceSize - kTagSize);
+  BytesView tag = box.subspan(box.size() - kTagSize);
+  Bytes enc_key, mac_key;
+  derive_keys(key, enc_key, mac_key);
+  Bytes expected = hash::hmac_sha256(mac_key, mac_input(nonce, ct, aad));
+  if (!ct_equal(expected, tag)) {
+    secure_wipe(enc_key);
+    secure_wipe(mac_key);
+    throw AuthError();
+  }
+  Bytes pt = chacha20(enc_key, nonce, 1, ct);
+  secure_wipe(enc_key);
+  secure_wipe(mac_key);
+  return pt;
+}
+
+}  // namespace hcpp::cipher

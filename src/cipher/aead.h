@@ -1,0 +1,36 @@
+// Authenticated encryption: encrypt-then-MAC over ChaCha20 + HMAC-SHA256,
+// with a random nonce prepended to the ciphertext. This realises the paper's
+// semantically secure symmetric encryption E' for PHI files and for the
+// protected key-transport messages in privilege assignment.
+#pragma once
+
+#include <stdexcept>
+
+#include "src/common/bytes.h"
+#include "src/common/random.h"
+
+namespace hcpp::cipher {
+
+inline constexpr size_t kAeadKeySize = 32;
+/// nonce (12) + tag (32)
+inline constexpr size_t kAeadOverhead = 12 + 32;
+
+/// key must be 32 bytes. Output layout: nonce || ciphertext || tag.
+Bytes aead_encrypt(BytesView key, BytesView plaintext, BytesView aad,
+                   RandomSource& rng);
+
+/// Deterministic variant with caller-supplied 12-byte nonce (used by the SSE
+/// index where node positions must be reproducible).
+Bytes aead_encrypt_with_nonce(BytesView key, BytesView nonce,
+                              BytesView plaintext, BytesView aad);
+
+/// Throws hcpp::cipher::AuthError on tag mismatch or malformed input.
+Bytes aead_decrypt(BytesView key, BytesView box, BytesView aad);
+
+/// Tag-failure exception: distinguishes tampering from other logic errors so
+/// protocol code can convert it into a protocol-level rejection.
+struct AuthError : std::runtime_error {
+  AuthError() : std::runtime_error("AEAD authentication failed") {}
+};
+
+}  // namespace hcpp::cipher

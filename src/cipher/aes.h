@@ -1,0 +1,33 @@
+// AES-128 (FIPS 197) in CTR mode, implemented from scratch. Provided as the
+// second symmetric cipher option (the benchmark E7 compares it against
+// ChaCha20 on the patient path).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace hcpp::cipher {
+
+inline constexpr size_t kAesBlockSize = 16;
+inline constexpr size_t kAes128KeySize = 16;
+
+class Aes128 {
+ public:
+  /// Expands a 16-byte key; throws std::invalid_argument otherwise.
+  explicit Aes128(BytesView key);
+
+  /// Encrypts one 16-byte block (ECB primitive; exposed for tests/CTR only).
+  void encrypt_block(const uint8_t in[kAesBlockSize],
+                     uint8_t out[kAesBlockSize]) const noexcept;
+
+  /// CTR-mode encrypt/decrypt (identical). `nonce` is 12 bytes; the final
+  /// 4 bytes of the counter block are a big-endian block counter.
+  Bytes ctr(BytesView nonce, uint32_t counter, BytesView data) const;
+
+ private:
+  std::array<std::array<uint8_t, 16>, 11> round_keys_{};
+};
+
+}  // namespace hcpp::cipher

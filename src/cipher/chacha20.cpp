@@ -1,0 +1,97 @@
+#include "src/cipher/chacha20.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace hcpp::cipher {
+
+namespace {
+
+inline uint32_t rotl(uint32_t x, int n) noexcept {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(uint32_t& a, uint32_t& b, uint32_t& c,
+                          uint32_t& d) noexcept {
+  a += b;
+  d = rotl(d ^ a, 16);
+  c += d;
+  b = rotl(b ^ c, 12);
+  a += b;
+  d = rotl(d ^ a, 8);
+  c += d;
+  b = rotl(b ^ c, 7);
+}
+
+inline uint32_t load32le(const uint8_t* p) noexcept {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void chacha20_block(const std::array<uint8_t, kChaChaKeySize>& key,
+                    const std::array<uint8_t, kChaChaNonceSize>& nonce,
+                    uint32_t counter, std::array<uint8_t, 64>& out) noexcept {
+  uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load32le(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load32le(nonce.data() + 4 * i);
+
+  uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    uint32_t v = x[i] + state[i];
+    out[4 * i] = static_cast<uint8_t>(v);
+    out[4 * i + 1] = static_cast<uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<uint8_t>(v >> 24);
+  }
+}
+
+void chacha20_xor(const std::array<uint8_t, kChaChaKeySize>& key,
+                  const std::array<uint8_t, kChaChaNonceSize>& nonce,
+                  uint32_t counter, std::span<uint8_t> data) noexcept {
+  std::array<uint8_t, 64> block;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    chacha20_block(key, nonce, counter++, block);
+    size_t take = std::min<size_t>(64, data.size() - offset);
+    for (size_t i = 0; i < take; ++i) data[offset + i] ^= block[i];
+    offset += take;
+  }
+}
+
+Bytes chacha20(BytesView key, BytesView nonce, uint32_t counter,
+               BytesView data) {
+  if (key.size() != kChaChaKeySize) {
+    throw std::invalid_argument("chacha20: key must be 32 bytes");
+  }
+  if (nonce.size() != kChaChaNonceSize) {
+    throw std::invalid_argument("chacha20: nonce must be 12 bytes");
+  }
+  std::array<uint8_t, kChaChaKeySize> k;
+  std::array<uint8_t, kChaChaNonceSize> n;
+  std::copy(key.begin(), key.end(), k.begin());
+  std::copy(nonce.begin(), nonce.end(), n.begin());
+  Bytes out(data.begin(), data.end());
+  chacha20_xor(k, n, counter, out);
+  return out;
+}
+
+}  // namespace hcpp::cipher

@@ -1,0 +1,30 @@
+// ChaCha20 stream cipher (RFC 8439 quarter-round core, 96-bit nonce, 32-bit
+// block counter). Used as the paper's semantically secure symmetric
+// encryption E/E' and as the DRBG core.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace hcpp::cipher {
+
+inline constexpr size_t kChaChaKeySize = 32;
+inline constexpr size_t kChaChaNonceSize = 12;
+
+/// XORs the keystream into `data` in place, starting at block `counter`.
+void chacha20_xor(const std::array<uint8_t, kChaChaKeySize>& key,
+                  const std::array<uint8_t, kChaChaNonceSize>& nonce,
+                  uint32_t counter, std::span<uint8_t> data) noexcept;
+
+/// Encrypt/decrypt (identical) returning a fresh buffer.
+Bytes chacha20(BytesView key, BytesView nonce, uint32_t counter,
+               BytesView data);
+
+/// Raw keystream block generator, exposed for the DRBG.
+void chacha20_block(const std::array<uint8_t, kChaChaKeySize>& key,
+                    const std::array<uint8_t, kChaChaNonceSize>& nonce,
+                    uint32_t counter, std::array<uint8_t, 64>& out) noexcept;
+
+}  // namespace hcpp::cipher

@@ -1,0 +1,54 @@
+#include "src/cipher/drbg.h"
+
+#include <random>
+
+#include "src/cipher/chacha20.h"
+#include "src/hash/sha256.h"
+
+namespace hcpp::cipher {
+
+Drbg::Drbg(BytesView seed) {
+  hash::Digest d = hash::sha256(seed);
+  std::copy(d.begin(), d.end(), key_.begin());
+  nonce_.fill(0);
+}
+
+Drbg Drbg::system() {
+  std::random_device rd;
+  Bytes seed(48);
+  for (size_t i = 0; i < seed.size(); i += 4) {
+    uint32_t v = rd();
+    for (size_t j = 0; j < 4 && i + j < seed.size(); ++j) {
+      seed[i + j] = static_cast<uint8_t>(v >> (8 * j));
+    }
+  }
+  return Drbg(seed);
+}
+
+void Drbg::next_block() {
+  chacha20_block(key_, nonce_, counter_++, block_);
+  block_pos_ = 0;
+  if (counter_ == 0) {
+    // 256 GiB of output consumed: ratchet the key to a fresh stream.
+    hash::Digest d = hash::sha256(BytesView(key_.data(), key_.size()));
+    std::copy(d.begin(), d.end(), key_.begin());
+  }
+}
+
+void Drbg::fill(std::span<uint8_t> out) {
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (block_pos_ == 64) next_block();
+    out[i] = block_[block_pos_++];
+  }
+}
+
+void Drbg::reseed(BytesView entropy) {
+  Bytes material(key_.begin(), key_.end());
+  append(material, entropy);
+  hash::Digest d = hash::sha256(material);
+  std::copy(d.begin(), d.end(), key_.begin());
+  counter_ = 0;
+  block_pos_ = 64;
+}
+
+}  // namespace hcpp::cipher

@@ -1,0 +1,38 @@
+// Deterministic random bit generator built on ChaCha20 keystream with
+// SHA-256-based (re)seeding. Doubles as:
+//   * the system CSPRNG (seeded from std::random_device), and
+//   * a reproducible stream for tests and the paper's PRG-randomized upload
+//     scheduler (§VI.C), which only needs a seedable PRG.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+#include "src/common/random.h"
+
+namespace hcpp::cipher {
+
+class Drbg final : public RandomSource {
+ public:
+  /// Deterministic instance from an arbitrary seed.
+  explicit Drbg(BytesView seed);
+  /// OS-entropy-seeded instance.
+  static Drbg system();
+
+  void fill(std::span<uint8_t> out) override;
+
+  /// Mixes fresh entropy into the state.
+  void reseed(BytesView entropy);
+
+ private:
+  void next_block();
+
+  std::array<uint8_t, 32> key_{};
+  std::array<uint8_t, 12> nonce_{};
+  uint32_t counter_ = 0;
+  std::array<uint8_t, 64> block_{};
+  size_t block_pos_ = 64;  // forces generation on first use
+};
+
+}  // namespace hcpp::cipher

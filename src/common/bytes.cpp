@@ -1,0 +1,69 @@
+#include "src/common/bytes.h"
+
+#include <stdexcept>
+
+namespace hcpp {
+
+Bytes to_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string to_string(BytesView b) { return std::string(b.begin(), b.end()); }
+
+std::string hex_encode(BytesView b) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (uint8_t byte : b) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0x0f]);
+  }
+  return out;
+}
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("hex_decode: invalid hex digit");
+}
+}  // namespace
+
+Bytes hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("hex_decode: odd-length input");
+  }
+  Bytes out(hex.size() / 2);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<uint8_t>((hex_nibble(hex[2 * i]) << 4) |
+                                  hex_nibble(hex[2 * i + 1]));
+  }
+  return out;
+}
+
+Bytes xor_bytes(BytesView a, BytesView b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("xor_bytes: length mismatch");
+  }
+  Bytes out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+bool ct_equal(BytesView a, BytesView b) noexcept {
+  if (a.size() != b.size()) return false;
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+void secure_wipe(Bytes& b) noexcept {
+  volatile uint8_t* p = b.data();
+  for (size_t i = 0; i < b.size(); ++i) p[i] = 0;
+  b.clear();
+}
+
+}  // namespace hcpp

@@ -1,0 +1,51 @@
+// Byte-buffer utilities shared across the HCPP library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hcpp {
+
+/// Owning byte buffer used throughout the library for keys, ciphertexts and
+/// wire messages.
+using Bytes = std::vector<uint8_t>;
+
+/// Non-owning read-only view over bytes; preferred parameter type.
+using BytesView = std::span<const uint8_t>;
+
+/// Builds a byte buffer from a UTF-8 string (no terminator).
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte buffer as a UTF-8 string.
+std::string to_string(BytesView b);
+
+/// Lower-case hex encoding.
+std::string hex_encode(BytesView b);
+
+/// Decodes lower/upper-case hex; throws std::invalid_argument on bad input.
+Bytes hex_decode(std::string_view hex);
+
+/// XOR of two equal-length buffers; throws std::invalid_argument on mismatch.
+Bytes xor_bytes(BytesView a, BytesView b);
+
+/// Constant-time equality (length leaks, contents do not).
+bool ct_equal(BytesView a, BytesView b) noexcept;
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Concatenates any number of buffers.
+template <typename... Views>
+Bytes concat(const Views&... views) {
+  Bytes out;
+  (append(out, BytesView(views)), ...);
+  return out;
+}
+
+/// Securely wipes a buffer before it is released.
+void secure_wipe(Bytes& b) noexcept;
+
+}  // namespace hcpp

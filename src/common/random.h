@@ -1,0 +1,38 @@
+// Abstract randomness source. The concrete implementation is the ChaCha20
+// DRBG in src/cipher/drbg.h; lower layers (multiprecision, curve) depend only
+// on this interface so they stay decoupled from the cipher stack and so tests
+// can inject deterministic streams.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/bytes.h"
+
+namespace hcpp {
+
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Fills `out` with uniformly random bytes.
+  virtual void fill(std::span<uint8_t> out) = 0;
+
+  /// Convenience: a fresh buffer of `n` random bytes.
+  Bytes bytes(size_t n) {
+    Bytes b(n);
+    fill(b);
+    return b;
+  }
+
+  /// Convenience: one uniformly random 64-bit word.
+  uint64_t u64() {
+    uint8_t b[8];
+    fill(b);
+    uint64_t v = 0;
+    for (uint8_t byte : b) v = (v << 8) | byte;
+    return v;
+  }
+};
+
+}  // namespace hcpp

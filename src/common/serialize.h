@@ -1,0 +1,56 @@
+// Minimal deterministic binary serialization used for wire messages, the SSE
+// secure index, and stored records. Big-endian, length-prefixed; the encoded
+// size is exactly what the communication benchmarks charge to the network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/bytes.h"
+
+namespace hcpp::io {
+
+/// Append-only encoder.
+class Writer {
+ public:
+  void u8(uint8_t v);
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  /// Length-prefixed (u32) byte string.
+  void bytes(BytesView b);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+  /// Raw bytes with no length prefix (caller knows the fixed width).
+  void raw(BytesView b);
+
+  [[nodiscard]] const Bytes& data() const noexcept { return buf_; }
+  Bytes take() noexcept { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Sequential decoder over a borrowed buffer. Throws std::out_of_range on
+/// truncated input (malformed wire data must never be silently accepted).
+class Reader {
+ public:
+  explicit Reader(BytesView b) noexcept : buf_(b) {}
+
+  uint8_t u8();
+  uint32_t u32();
+  uint64_t u64();
+  Bytes bytes();
+  std::string str();
+  Bytes raw(size_t n);
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == buf_.size(); }
+  [[nodiscard]] size_t remaining() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  void need(size_t n) const;
+  BytesView buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hcpp::io

@@ -1,0 +1,74 @@
+#include "src/core/accountability.h"
+
+#include <algorithm>
+
+namespace hcpp::core {
+
+bool verify_rd(const ibc::PublicParams& pub, const std::string& aserver_id,
+               const RdRecord& rd) {
+  try {
+    ibc::IbsSignature sig =
+        ibc::IbsSignature::from_bytes(*pub.ctx, rd.aserver_sig);
+    return ibc::ibs_verify(pub, aserver_id,
+                           rd_statement(rd.physician_id, rd.tp, rd.t11), sig);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool verify_trace(const ibc::PublicParams& pub, const TraceRecord& tr) {
+  try {
+    ibc::IbsSignature sig =
+        ibc::IbsSignature::from_bytes(*pub.ctx, tr.physician_sig);
+    EmergencyAuthRequest req;
+    req.physician_id = tr.physician_id;
+    req.tp = tr.tp;
+    req.t = tr.t10;
+    return ibc::ibs_verify(pub, tr.physician_id, req.body(), sig);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+AuditReport audit(const ibc::PublicParams& pub, const std::string& aserver_id,
+                  std::span<const TraceRecord> traces,
+                  std::span<const RdRecord> records,
+                  const std::set<std::string>& permitted_keywords) {
+  AuditReport report;
+  for (const RdRecord& rd : records) {
+    if (!verify_rd(pub, aserver_id, rd)) {
+      ++report.inconsistencies;
+      continue;
+    }
+    // Find the matching trace: same physician, same pseudonym, same t11.
+    const TraceRecord* match = nullptr;
+    for (const TraceRecord& tr : traces) {
+      if (tr.physician_id == rd.physician_id && tr.t11 == rd.t11 &&
+          ct_equal(tr.tp, rd.tp)) {
+        match = &tr;
+        break;
+      }
+    }
+    if (match == nullptr || !verify_trace(pub, *match)) {
+      ++report.inconsistencies;
+      continue;
+    }
+    if (std::find(report.accountable.begin(), report.accountable.end(),
+                  rd.physician_id) == report.accountable.end()) {
+      report.accountable.push_back(rd.physician_id);
+    }
+    bool improper = false;
+    for (const std::string& kw : rd.keywords) {
+      improper |= (permitted_keywords.find(kw) == permitted_keywords.end());
+    }
+    if (improper &&
+        std::find(report.improper_searchers.begin(),
+                  report.improper_searchers.end(),
+                  rd.physician_id) == report.improper_searchers.end()) {
+      report.improper_searchers.push_back(rd.physician_id);
+    }
+  }
+  return report;
+}
+
+}  // namespace hcpp::core

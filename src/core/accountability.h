@@ -1,0 +1,38 @@
+// Accountability audit (§V.A): after the emergency, the patient collects the
+// RD records from the P-device, verifies the A-server signatures they embed,
+// cross-checks them against the A-server's TR log, and flags physicians who
+// searched beyond the keyword set a treatment justified.
+#pragma once
+
+#include <set>
+
+#include "src/core/entities.h"
+
+namespace hcpp::core {
+
+/// Verifies the A-server's audit signature inside one RD record.
+bool verify_rd(const ibc::PublicParams& pub, const std::string& aserver_id,
+               const RdRecord& rd);
+
+/// Verifies the physician's request signature inside one TR trace.
+bool verify_trace(const ibc::PublicParams& pub, const TraceRecord& tr);
+
+struct AuditReport {
+  /// Physicians with a verified RD + matching verified TR: provably
+  /// interacted with the P-device and can be held accountable for any leak.
+  std::vector<std::string> accountable;
+  /// RD entries containing keywords outside the permitted set — evidence of
+  /// over-broad searching even without a leak (§V.A accountability).
+  std::vector<std::string> improper_searchers;
+  /// RD records whose signature failed, or with no matching TR — an
+  /// inconsistency that itself warrants investigation.
+  size_t inconsistencies = 0;
+};
+
+/// Cross-checks the P-device's RD log against the A-server's TR log.
+AuditReport audit(const ibc::PublicParams& pub, const std::string& aserver_id,
+                  std::span<const TraceRecord> traces,
+                  std::span<const RdRecord> records,
+                  const std::set<std::string>& permitted_keywords);
+
+}  // namespace hcpp::core

@@ -1,0 +1,47 @@
+#include "src/core/cluster.h"
+
+#include <stdexcept>
+
+namespace hcpp::core {
+
+AServerCluster::AServerCluster(sim::Network& net, const curve::CurveCtx& ctx,
+                               const std::string& base_id, size_t replicas,
+                               RandomSource& seed) {
+  if (replicas == 0) {
+    throw std::invalid_argument("AServerCluster: need at least one office");
+  }
+  // Office 0 mints the domain; the rest join it.
+  replicas_.push_back(
+      std::make_unique<AServer>(net, ctx, base_id + "-0", seed));
+  for (size_t i = 1; i < replicas; ++i) {
+    replicas_.push_back(std::make_unique<AServer>(
+        net, replicas_[0]->domain(), base_id + "-" + std::to_string(i),
+        seed));
+  }
+  up_.assign(replicas, true);
+}
+
+void AServerCluster::set_up(size_t i, bool up) { up_.at(i) = up; }
+
+void AServerCluster::set_on_duty(const std::string& physician_id,
+                                 bool on_duty) {
+  for (auto& replica : replicas_) replica->set_on_duty(physician_id, on_duty);
+}
+
+AServer* AServerCluster::first_available() {
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (up_[i]) return replicas_[i].get();
+  }
+  return nullptr;
+}
+
+std::vector<TraceRecord> AServerCluster::all_traces() const {
+  std::vector<TraceRecord> out;
+  for (const auto& replica : replicas_) {
+    out.insert(out.end(), replica->traces().begin(),
+               replica->traces().end());
+  }
+  return out;
+}
+
+}  // namespace hcpp::core

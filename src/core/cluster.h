@@ -1,0 +1,41 @@
+// §VI.D DoS countermeasure: "The attack to A-servers can be addressed by
+// splitting the role of an A-server to several local offices". An
+// AServerCluster is a set of replicas of one state A-server — same IBC
+// master secret, mirrored on-duty registry — of which any reachable one can
+// run the emergency authentication. The physician "calls the toll-free
+// number" of the next office when one is down.
+#pragma once
+
+#include "src/core/entities.h"
+
+namespace hcpp::core {
+
+class AServerCluster {
+ public:
+  /// `replicas` local offices sharing one domain (ids "<base_id>-<i>").
+  AServerCluster(sim::Network& net, const curve::CurveCtx& ctx,
+                 const std::string& base_id, size_t replicas,
+                 RandomSource& seed);
+
+  [[nodiscard]] size_t size() const noexcept { return replicas_.size(); }
+  [[nodiscard]] AServer& replica(size_t i) { return *replicas_.at(i); }
+
+  /// Simulated outage control.
+  void set_up(size_t i, bool up);
+  [[nodiscard]] bool is_up(size_t i) const { return up_.at(i); }
+
+  /// Mirrors the published on-duty list to every office.
+  void set_on_duty(const std::string& physician_id, bool on_duty);
+
+  /// First reachable office, or nullptr if the attacker downed them all.
+  [[nodiscard]] AServer* first_available();
+
+  /// Union of all offices' TR logs (for audits spanning a failover).
+  [[nodiscard]] std::vector<TraceRecord> all_traces() const;
+
+ private:
+  std::vector<std::unique_ptr<AServer>> replicas_;
+  std::vector<bool> up_;
+};
+
+}  // namespace hcpp::core

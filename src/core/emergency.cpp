@@ -1,0 +1,329 @@
+// §IV.E emergency health-information retrieval.
+//
+// Family-based approach (§IV.E.1), 4 messages:
+//   1. family → S-server : TPp, m (BE-blob request), t6, HMAC_ν
+//   2. S-server → family : BE_{U'}(d), t7, HMAC_ν
+//   3. family → S-server : TPp, TD_U(kw) = θ_d(TD(kw)), t8, HMAC_ν
+//   4. S-server → family : Λ(kw), t9, HMAC_ν
+//
+// P-device approach (§IV.E.2): the physician authenticates to the A-server
+// with IBS as the on-duty emergency caregiver; the A-server returns the
+// one-time passcode under E'_ϖ and simultaneously pushes it to the P-device
+// under IBE_TPp; the physician types (ID, nonce) into the device, which then
+// runs the same privileged retrieval and logs an RD record.
+#include <algorithm>
+#include <set>
+
+#include "src/cipher/aead.h"
+#include "src/core/entities.h"
+
+namespace hcpp::core {
+
+namespace {
+
+constexpr const char* kBeLabel = "emergency-be-request";
+constexpr const char* kPrivLabel = "emergency-privileged-retrieval";
+constexpr const char* kAuthLabel = "emergency-auth";
+
+/// Messages 1–4 of the family-based approach, shared by Family and PDevice.
+std::vector<sse::PlainFile> privileged_retrieve(
+    sim::Network& net, const std::string& actor, SServer& server,
+    const PrivilegeBundle& pb, std::span<const std::string> keywords) {
+  // Round 1: fetch the current broadcast-encrypted d.
+  BeBlobRequest req1;
+  req1.tp = pb.tp;
+  req1.collection = pb.collection;
+  req1.t = net.clock().now();
+  req1.mac = protocol_mac(pb.nu, kBeLabel, req1.body(), req1.t);
+  net.transmit(actor, server.id(), req1.wire_size(), kBeLabel);
+  std::optional<BeBlobResponse> resp1 = server.handle_be_request(req1);
+  if (!resp1.has_value()) return {};
+  net.transmit(server.id(), actor, resp1->wire_size(), kBeLabel);
+  if (!protocol_mac_ok(pb.nu, kBeLabel, resp1->body(), resp1->t,
+                       resp1->mac)) {
+    return {};
+  }
+  std::optional<Bytes> d = be::decrypt(pb.member_keys, resp1->be_blob);
+  if (!d.has_value()) return {};  // revoked: not in the current cover
+
+  // Round 2: θ_d-wrapped trapdoors. The privileged entity has no rotation
+  // state, so it derives the alias slot from the timestamp — successive
+  // emergencies still spread across aliases (§VI.B).
+  PrivilegedRetrieveRequest req2;
+  req2.tp = pb.tp;
+  req2.collection = pb.collection;
+  size_t alias_slot = static_cast<size_t>(net.clock().now() / 1000) %
+                      std::max<uint32_t>(1, pb.alias_count);
+  for (const std::string& kw : keywords) {
+    req2.wrapped_trapdoors.push_back(sse::wrap_trapdoor(
+        *d, sse::make_trapdoor(pb.keys, keyword_alias(kw, alias_slot))));
+  }
+  req2.t = net.clock().now();
+  req2.mac = protocol_mac(pb.nu, kPrivLabel, req2.body(), req2.t);
+  net.transmit(actor, server.id(), req2.wire_size(), kPrivLabel);
+  std::optional<RetrieveResponse> resp2 =
+      server.handle_privileged_retrieve(req2);
+  if (!resp2.has_value()) return {};
+  net.transmit(server.id(), actor, resp2->wire_size(), kPrivLabel);
+  if (!protocol_mac_ok(pb.nu, kPrivLabel, resp2->body(), resp2->t,
+                       resp2->mac)) {
+    return {};
+  }
+  std::vector<sse::PlainFile> out;
+  for (const auto& [id, blob] : resp2->files) {
+    try {
+      out.push_back(sse::decrypt_file(pb.keys, blob));
+    } catch (const std::exception&) {
+      // skip tampered blobs
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- S-server handlers -------------------------------------------------------
+
+std::optional<BeBlobResponse> SServer::handle_be_request(
+    const BeBlobRequest& req) {
+  Bytes nu;
+  try {
+    nu = shared_key_for(req.tp);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (!protocol_mac_ok(nu, kBeLabel, req.body(), req.t, req.mac)) {
+    return std::nullopt;
+  }
+  if (!net_->accept_fresh(id_, req.mac, req.t, kFreshnessWindowNs)) {
+    return std::nullopt;
+  }
+  Account* acct = find_account(req.tp, req.collection);
+  if (acct == nullptr) return std::nullopt;
+  BeBlobResponse resp;
+  resp.be_blob = acct->be_blob;
+  resp.t = net_->clock().now();
+  resp.mac = protocol_mac(nu, kBeLabel, resp.body(), resp.t);
+  return resp;
+}
+
+std::optional<RetrieveResponse> SServer::handle_privileged_retrieve(
+    const PrivilegedRetrieveRequest& req) {
+  Bytes nu;
+  try {
+    nu = shared_key_for(req.tp);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (!protocol_mac_ok(nu, kPrivLabel, req.body(), req.t, req.mac)) {
+    return std::nullopt;
+  }
+  if (!net_->accept_fresh(id_, req.mac, req.t, kFreshnessWindowNs)) {
+    return std::nullopt;
+  }
+  Account* acct = find_account(req.tp, req.collection);
+  if (acct == nullptr) return std::nullopt;
+
+  std::set<sse::FileId> matched;
+  for (const Bytes& wrapped : req.wrapped_trapdoors) {
+    // θ_d^{-1} then the embedded validity tag — stale-d submissions fail here.
+    std::optional<sse::Trapdoor> td = sse::unwrap_trapdoor(acct->d, wrapped);
+    if (!td.has_value()) continue;
+    for (sse::FileId id : sse::search(acct->index, *td)) matched.insert(id);
+  }
+  RetrieveResponse resp;
+  for (sse::FileId id : matched) {
+    auto it = acct->files.files.find(id);
+    if (it != acct->files.files.end()) resp.files.emplace_back(id, it->second);
+  }
+  resp.t = net_->clock().now();
+  resp.mac = protocol_mac(nu, kPrivLabel, resp.body(), resp.t);
+  return resp;
+}
+
+// ---- Family ------------------------------------------------------------------
+
+std::vector<sse::PlainFile> Family::emergency_retrieve(
+    SServer& server, std::span<const std::string> keywords) {
+  if (!bundle_.has_value()) return {};
+  return privileged_retrieve(*net_, name_, server, *bundle_, keywords);
+}
+
+// ---- A-server: emergency authentication (§IV.E.2 steps 1–3) -------------------
+
+std::optional<AServer::EmergencyAuthOutcome> AServer::handle_emergency_auth(
+    const EmergencyAuthRequest& req) {
+  if (!net_->accept_fresh(id_, req.sig, req.t, kFreshnessWindowNs)) {
+    return std::nullopt;
+  }
+  ibc::IbsSignature sig;
+  try {
+    sig = ibc::IbsSignature::from_bytes(domain_.ctx(), req.sig);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (!ibc::ibs_verify(pub(), req.physician_id, req.body(), sig)) {
+    return std::nullopt;
+  }
+  if (!is_on_duty(req.physician_id)) return std::nullopt;
+
+  curve::Point tp;
+  try {
+    tp = curve::point_from_bytes(domain_.ctx(), req.tp);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  // Small-subgroup guard: the passcode IBE keys to ê(TP, Ppub)^r.
+  if (!curve::in_prime_subgroup(domain_.ctx(), tp)) return std::nullopt;
+
+  Bytes nonce = rng_.bytes(16);
+  uint64_t t11 = net_->clock().now();
+  EmergencyAuthOutcome out;
+
+  // Step 2: passcode to the physician under the pairwise key ϖ.
+  Bytes varpi =
+      ibc::shared_key_with_id(domain_.ctx(), self_key_, req.physician_id);
+  out.to_physician.enc_nonce =
+      cipher::aead_encrypt(varpi, nonce, {}, rng_);
+  out.to_physician.t = t11;
+  out.to_physician.sig =
+      ibc::ibs_sign(domain_.ctx(), self_key_, id_,
+                    out.to_physician.body(req.physician_id, req.tp), rng_)
+          .to_bytes();
+
+  // Step 3: passcode to the P-device under IBE_TPp.
+  io::Writer inner;
+  inner.str(req.physician_id);
+  inner.bytes(nonce);
+  inner.u64(t11);
+  out.to_pdevice.physician_id = req.physician_id;
+  out.to_pdevice.ibe_blob =
+      ibc::ibe_encrypt_to_point(pub(), tp, inner.data(), rng_).to_bytes();
+  out.to_pdevice.t = t11;
+  out.to_pdevice.sig =
+      ibc::ibs_sign(domain_.ctx(), self_key_, id_,
+                    out.to_pdevice.body(req.tp), rng_)
+          .to_bytes();
+  out.to_pdevice.audit_sig =
+      ibc::ibs_sign(domain_.ctx(), self_key_, id_,
+                    rd_statement(req.physician_id, req.tp, t11), rng_)
+          .to_bytes();
+
+  // TR: the accountability trace (§IV.E.2).
+  traces_.push_back({req.physician_id, req.tp, req.t, t11, req.sig});
+  return out;
+}
+
+// ---- Physician -----------------------------------------------------------------
+
+std::optional<Physician::PasscodeResult> Physician::request_passcode(
+    AServer& authority, BytesView patient_tp) {
+  EmergencyAuthRequest req;
+  req.physician_id = id_;
+  req.tp = Bytes(patient_tp.begin(), patient_tp.end());
+  req.t = net_->clock().now();
+  req.sig = ibc::ibs_sign(*ctx_, private_key_, id_, req.body(), rng_)
+                .to_bytes();
+  net_->transmit(id_, authority.id(), req.wire_size(), kAuthLabel);
+
+  std::optional<AServer::EmergencyAuthOutcome> outcome =
+      authority.handle_emergency_auth(req);
+  if (!outcome.has_value()) return std::nullopt;
+  // Steps 2 and 3 "take place simultaneously".
+  net_->transmit(authority.id(), id_, outcome->to_physician.wire_size(),
+                 kAuthLabel);
+  net_->transmit(authority.id(), "p-device", outcome->to_pdevice.wire_size(),
+                 kAuthLabel);
+
+  // Verify the answering office's signature before trusting the passcode.
+  // The office is addressed by parameter (not by the enrolment-time
+  // authority) so that any §VI.D replica can serve the request.
+  try {
+    ibc::IbsSignature sig = ibc::IbsSignature::from_bytes(
+        *ctx_, outcome->to_physician.sig);
+    if (!ibc::ibs_verify(authority.pub(), authority.id(),
+                         outcome->to_physician.body(id_, req.tp), sig)) {
+      return std::nullopt;
+    }
+    Bytes varpi =
+        ibc::shared_key_with_id(*ctx_, private_key_, authority.id());
+    Bytes nonce =
+        cipher::aead_decrypt(varpi, outcome->to_physician.enc_nonce, {});
+    return PasscodeResult{std::move(nonce), std::move(outcome->to_pdevice)};
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+// ---- P-device ---------------------------------------------------------------
+
+bool PDevice::deliver_passcode(const AServer& authority,
+                               const PasscodeToPDevice& msg) {
+  if (!emergency_mode_ || !bundle_.has_value() || bundle_->gamma.empty()) {
+    return false;
+  }
+  const curve::CurveCtx& ctx = authority.ctx();
+  try {
+    ibc::IbsSignature sig =
+        ibc::IbsSignature::from_bytes(ctx, msg.sig);
+    if (!ibc::ibs_verify(authority.pub(), authority.id(),
+                         msg.body(bundle_->tp), sig)) {
+      return false;
+    }
+    curve::Point gamma = curve::point_from_bytes(ctx, bundle_->gamma);
+    ibc::IbeCiphertext ct =
+        ibc::IbeCiphertext::from_bytes(ctx, msg.ibe_blob);
+    Bytes inner = ibc::ibe_decrypt(ctx, gamma, ct);
+    io::Reader r(inner);
+    std::string physician_id = r.str();
+    Bytes nonce = r.bytes();
+    uint64_t t11 = r.u64();
+    if (physician_id != msg.physician_id || t11 != msg.t) return false;
+    pending_physician_ = physician_id;
+    pending_nonce_ = nonce;
+    session_t11_ = t11;
+    session_aserver_sig_ = msg.audit_sig;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool PDevice::enter_passcode(const std::string& physician_id,
+                             BytesView nonce) {
+  if (!pending_nonce_.has_value() || !pending_physician_.has_value()) {
+    return false;
+  }
+  bool ok = (physician_id == *pending_physician_) &&
+            ct_equal(*pending_nonce_, nonce);
+  // One attempt per delivered passcode, success or not.
+  pending_nonce_.reset();
+  pending_physician_.reset();
+  if (ok) session_physician_ = physician_id;
+  return ok;
+}
+
+std::vector<sse::PlainFile> PDevice::emergency_retrieve(
+    SServer& server, std::span<const std::string> keywords) {
+  if (!session_physician_.has_value() || !bundle_.has_value()) return {};
+  // §VI.A countermeasure: accessing the retrieval secrets alerts the
+  // patient's phone.
+  ++alerts_;
+  // Only dictionary keywords are searchable (§IV.E.2: "if the keywords
+  // result in a match in the dictionary").
+  std::vector<std::string> valid;
+  for (const std::string& kw : keywords) {
+    if (bundle_->ki.contains(kw)) valid.push_back(kw);
+  }
+  std::vector<sse::PlainFile> files;
+  if (!valid.empty()) {
+    files = privileged_retrieve(*net_, id_, server, *bundle_, valid);
+  }
+  // RD: record which physician searched what (§IV.E.2).
+  rd_log_.push_back({*session_physician_, bundle_->tp, valid, session_t11_,
+                     session_aserver_sig_});
+  session_physician_.reset();  // one retrieval per passcode session
+  return files;
+}
+
+}  // namespace hcpp::core

@@ -1,0 +1,324 @@
+#include "src/core/entities.h"
+
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+
+#include "src/cipher/aead.h"
+
+namespace hcpp::core {
+
+namespace {
+Bytes seed_for(RandomSource& seed, std::string_view tag) {
+  Bytes s = seed.bytes(32);
+  append(s, to_bytes(tag));
+  return s;
+}
+}  // namespace
+
+// ---- AServer ---------------------------------------------------------------
+
+AServer::AServer(sim::Network& net, const curve::CurveCtx& ctx, std::string id,
+                 RandomSource& seed)
+    : net_(&net),
+      id_(std::move(id)),
+      domain_(ctx, [&] {
+        cipher::Drbg boot(seed_for(seed, "aserver-master"));
+        return curve::random_scalar(ctx, boot);
+      }()),
+      rng_(seed_for(seed, "aserver-rng")) {
+  self_key_ = domain_.extract(id_);
+}
+
+AServer::AServer(sim::Network& net, const ibc::Domain& shared_domain,
+                 std::string id, RandomSource& seed)
+    : net_(&net),
+      id_(std::move(id)),
+      domain_(shared_domain),
+      rng_(seed_for(seed, "aserver-replica-rng")) {
+  self_key_ = domain_.extract(id_);
+}
+
+curve::Point AServer::provision(std::string_view entity_id) const {
+  return domain_.extract(entity_id);
+}
+
+ibc::Domain::Pseudonym AServer::issue_pseudonym() const {
+  return domain_.issue_pseudonym(rng_);
+}
+
+void AServer::set_on_duty(const std::string& physician_id, bool on_duty) {
+  on_duty_[physician_id] = on_duty;
+}
+
+bool AServer::is_on_duty(const std::string& physician_id) const {
+  auto it = on_duty_.find(physician_id);
+  return it != on_duty_.end() && it->second;
+}
+
+// ---- SServer ---------------------------------------------------------------
+
+SServer::SServer(sim::Network& net, const AServer& authority, std::string id)
+    : net_(&net),
+      id_(std::move(id)),
+      ctx_(&authority.ctx()),
+      self_key_(authority.provision(id_)) {}
+
+std::string SServer::account_key(BytesView tp, const std::string& collection) {
+  return hex_encode(tp) + "/" + collection;
+}
+
+SServer::Account* SServer::find_account(BytesView tp,
+                                        const std::string& collection) {
+  auto it = accounts_.find(account_key(tp, collection));
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+Bytes SServer::shared_key_for(BytesView tp_bytes) const {
+  curve::Point tp = curve::point_from_bytes(*ctx_, tp_bytes);
+  // Reject on-curve points outside the order-q subgroup: pairing a private
+  // key against a small-order point would leak it into a brute-forceable
+  // subgroup of GT.
+  if (!curve::in_prime_subgroup(*ctx_, tp)) {
+    throw std::invalid_argument("SServer: pseudonym not in prime subgroup");
+  }
+  return ibc::shared_key_with_point(*ctx_, self_key_, tp);
+}
+
+std::vector<std::string> SServer::visible_account_ids() const {
+  std::vector<std::string> out;
+  out.reserve(accounts_.size());
+  for (const auto& [key, acct] : accounts_) out.push_back(key);
+  return out;
+}
+
+namespace {
+constexpr uint8_t kStateFormatVersion = 1;
+}
+
+Bytes SServer::export_state() const {
+  io::Writer w;
+  w.u8(kStateFormatVersion);
+  w.u32(static_cast<uint32_t>(accounts_.size()));
+  for (const auto& [key, acct] : accounts_) {
+    w.str(key);
+    w.bytes(acct.index.to_bytes());
+    w.bytes(acct.files.to_bytes());
+    w.bytes(acct.d);
+    w.bytes(acct.be_blob);
+  }
+  w.u32(static_cast<uint32_t>(mhi_store_.size()));
+  for (const MhiEntry& e : mhi_store_) {
+    w.str(e.role_id);
+    w.u32(static_cast<uint32_t>(e.tags.size()));
+    for (const peks::PeksCiphertext& t : e.tags) w.bytes(t.to_bytes());
+    w.bytes(e.ibe_blob);
+  }
+  return w.take();
+}
+
+bool SServer::import_state(BytesView state) {
+  try {
+    io::Reader r(state);
+    if (r.u8() != kStateFormatVersion) return false;
+    std::map<std::string, Account> accounts;
+    uint32_t n = r.u32();
+    for (uint32_t i = 0; i < n; ++i) {
+      std::string key = r.str();
+      Account acct;
+      acct.index = sse::SecureIndex::from_bytes(r.bytes());
+      acct.files = sse::EncryptedCollection::from_bytes(r.bytes());
+      acct.d = r.bytes();
+      acct.be_blob = r.bytes();
+      accounts.emplace(std::move(key), std::move(acct));
+    }
+    std::vector<MhiEntry> mhi;
+    uint32_t m = r.u32();
+    for (uint32_t i = 0; i < m; ++i) {
+      MhiEntry e;
+      e.role_id = r.str();
+      uint32_t tags = r.u32();
+      for (uint32_t t = 0; t < tags; ++t) {
+        e.tags.push_back(peks::PeksCiphertext::from_bytes(*ctx_, r.bytes()));
+      }
+      e.ibe_blob = r.bytes();
+      mhi.push_back(std::move(e));
+    }
+    if (!r.done()) return false;  // trailing junk
+    accounts_ = std::move(accounts);
+    mhi_store_ = std::move(mhi);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool SServer::save_to_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  Bytes state = export_state();
+  out.write(reinterpret_cast<const char*>(state.data()),
+            static_cast<std::streamsize>(state.size()));
+  return static_cast<bool>(out);
+}
+
+bool SServer::load_from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  Bytes state((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  return import_state(state);
+}
+
+size_t SServer::stored_bytes() const {
+  size_t total = 0;
+  for (const auto& [key, acct] : accounts_) {
+    total += acct.index.size_bytes() + acct.files.size_bytes() +
+             acct.d.size() + acct.be_blob.size();
+  }
+  for (const MhiEntry& e : mhi_store_) {
+    total += e.ibe_blob.size();
+    for (const peks::PeksCiphertext& t : e.tags) total += t.size();
+  }
+  return total;
+}
+
+// ---- PrivilegeBundle --------------------------------------------------------
+
+Bytes PrivilegeBundle::to_bytes() const {
+  io::Writer w;
+  w.bytes(tp);
+  w.bytes(nu);
+  w.bytes(gamma);
+  w.bytes(keys.to_bytes());
+  w.bytes(ki.to_bytes());
+  w.str(collection);
+  w.bytes(member_keys.to_bytes());
+  w.u32(alias_count);
+  return w.take();
+}
+
+PrivilegeBundle PrivilegeBundle::from_bytes(BytesView b) {
+  io::Reader r(b);
+  PrivilegeBundle pb;
+  pb.tp = r.bytes();
+  pb.nu = r.bytes();
+  pb.gamma = r.bytes();
+  pb.keys = sse::Keys::from_bytes(r.bytes());
+  pb.ki = KeywordIndex::from_bytes(r.bytes());
+  pb.collection = r.str();
+  pb.member_keys = be::MemberKeys::from_bytes(r.bytes());
+  pb.alias_count = r.u32();
+  return pb;
+}
+
+// ---- Patient ----------------------------------------------------------------
+
+Patient::Patient(sim::Network& net, std::string name, RandomSource& seed)
+    : net_(&net),
+      name_(std::move(name)),
+      rng_(seed_for(seed, "patient-" + name_)) {}
+
+void Patient::setup(const AServer& authority, const std::string& sserver_id) {
+  ctx_ = &authority.ctx();
+  sserver_id_ = sserver_id;
+  // Hospital-assisted issuance, then self-rerandomization ([25]) so neither
+  // the hospital nor the A-server can link TPp back to the issued pair.
+  ibc::Domain::Pseudonym issued = authority.issue_pseudonym();
+  pseudonym_ = ibc::rerandomize_pseudonym(*ctx_, issued, rng_);
+  keys_ = sse::Keys::generate(rng_);
+  be_group_ = std::make_unique<be::BroadcastGroup>(8, rng_);
+  ki_ = KeywordIndex{};
+  ki_.sserver_id = sserver_id_;
+}
+
+void Patient::add_files(std::vector<sse::PlainFile> files) {
+  for (sse::PlainFile& f : files) files_.push_back(std::move(f));
+}
+
+void Patient::set_keyword_aliases(size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("Patient: alias count must be >= 1");
+  }
+  alias_count_ = n;
+}
+
+std::string Patient::next_alias(const std::string& kw) {
+  size_t& cursor = alias_cursor_[kw];
+  std::string alias = keyword_alias(kw, cursor % alias_count_);
+  ++cursor;
+  return alias;
+}
+
+Bytes Patient::tp_bytes() const { return curve::point_to_bytes(pseudonym_.tp); }
+
+Bytes Patient::shared_key_nu() const {
+  return ibc::shared_key_with_id(*ctx_, pseudonym_.gamma, sserver_id_);
+}
+
+Bytes Patient::make_sealed_bundle(size_t slot, BytesView mu,
+                                  bool include_gamma) {
+  if (be_group_ == nullptr) {
+    throw std::logic_error("Patient: setup() must run before ASSIGN");
+  }
+  PrivilegeBundle pb;
+  pb.tp = tp_bytes();
+  pb.nu = shared_key_nu();
+  if (include_gamma) pb.gamma = curve::point_to_bytes(pseudonym_.gamma);
+  pb.alias_count = static_cast<uint32_t>(alias_count_);
+  pb.keys = keys_;
+  pb.ki = ki_;
+  pb.collection = collection_;
+  pb.member_keys = be_group_->issue(slot);
+  return cipher::aead_encrypt(mu, pb.to_bytes(), {}, rng_);
+}
+
+// ---- Family -----------------------------------------------------------------
+
+Family::Family(sim::Network& net, std::string name)
+    : net_(&net), name_(std::move(name)) {}
+
+bool Family::receive_bundle(BytesView sealed, BytesView mu) {
+  try {
+    bundle_ = PrivilegeBundle::from_bytes(cipher::aead_decrypt(mu, sealed, {}));
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+// ---- PDevice ----------------------------------------------------------------
+
+PDevice::PDevice(sim::Network& net, std::string id, RandomSource& seed)
+    : net_(&net),
+      id_(std::move(id)),
+      rng_(seed_for(seed, "pdevice-" + id_)) {}
+
+bool PDevice::receive_bundle(BytesView sealed, BytesView mu) {
+  try {
+    bundle_ = PrivilegeBundle::from_bytes(cipher::aead_decrypt(mu, sealed, {}));
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void PDevice::press_emergency_button() { emergency_mode_ = true; }
+
+void PDevice::collect_mhi(MhiWindow window) {
+  mhi_.push_back(std::move(window));
+}
+
+// ---- Physician ----------------------------------------------------------------
+
+Physician::Physician(sim::Network& net, const AServer& authority,
+                     std::string id)
+    : net_(&net),
+      id_(std::move(id)),
+      ctx_(&authority.ctx()),
+      authority_pub_(authority.pub()),
+      authority_id_(authority.id()),
+      private_key_(authority.provision(id_)),
+      rng_(to_bytes("physician-" + id_)) {}
+
+}  // namespace hcpp::core

@@ -1,0 +1,412 @@
+// The six HCPP entities (§III.A) and their protocol roles. Client-driven
+// protocols (storage, retrieval, privilege, emergency, MHI) are methods on
+// the initiating entity; servers expose handle_* methods that verify MACs /
+// signatures / freshness and never trust their inputs.
+//
+// Construction order for a deployment: AServer (owns the IBC domain) →
+// SServer / Physician (keys extracted from the domain) → Patient (pseudonym
+// issued, then self-rerandomized) → Family / PDevice (receive the privilege
+// bundle from the patient). See Deployment in setup.h for a one-call wiring.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/be/broadcast.h"
+#include "src/cipher/drbg.h"
+#include "src/core/messages.h"
+#include "src/core/record.h"
+#include "src/ibc/domain.h"
+#include "src/ibc/hibc.h"
+#include "src/peks/peks.h"
+#include "src/sim/network.h"
+
+namespace hcpp::sim {
+class OnionNetwork;
+}
+
+namespace hcpp::core {
+
+class SServer;
+
+// ---------------------------------------------------------------------------
+/// State A-server: trusted government authority (§III.A). Owns the IBC
+/// domain (PKG), tracks on-duty physicians, runs the emergency
+/// authentication of §IV.E.2, extracts MHI role keys, and keeps the TR
+/// accountability log.
+class AServer {
+ public:
+  AServer(sim::Network& net, const curve::CurveCtx& ctx, std::string id,
+          RandomSource& seed);
+  /// Replica constructor (§VI.D): joins an existing domain — same master
+  /// secret, own identity — so any local office can serve requests.
+  AServer(sim::Network& net, const ibc::Domain& shared_domain, std::string id,
+          RandomSource& seed);
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] const ibc::Domain& domain() const noexcept { return domain_; }
+  [[nodiscard]] const ibc::PublicParams& pub() const noexcept {
+    return domain_.pub();
+  }
+  [[nodiscard]] const curve::CurveCtx& ctx() const noexcept {
+    return domain_.ctx();
+  }
+  [[nodiscard]] sim::Network& net() const noexcept { return *net_; }
+
+  /// Provisioning: extract Γ_entity (run out-of-band at enrolment).
+  [[nodiscard]] curve::Point provision(std::string_view entity_id) const;
+  /// Hospital-assisted pseudonym issuance (§IV.B).
+  [[nodiscard]] ibc::Domain::Pseudonym issue_pseudonym() const;
+
+  /// The published "today's on-duty physicians" list (§IV.E.2).
+  void set_on_duty(const std::string& physician_id, bool on_duty);
+  [[nodiscard]] bool is_on_duty(const std::string& physician_id) const;
+
+  /// §IV.E.2 steps 1–3. Returns the two signed outbound messages, or nullopt
+  /// when the signature fails, the timestamp is stale, or the physician is
+  /// not on duty.
+  struct EmergencyAuthOutcome {
+    PasscodeToPhysician to_physician;
+    PasscodeToPDevice to_pdevice;
+  };
+  std::optional<EmergencyAuthOutcome> handle_emergency_auth(
+      const EmergencyAuthRequest& req);
+
+  /// MHI role-key extraction for an authenticated on-duty physician.
+  std::optional<curve::Point> handle_role_key_request(
+      const RoleKeyRequest& req);
+
+  /// TR log (audited in accountability.h).
+  [[nodiscard]] const std::vector<TraceRecord>& traces() const noexcept {
+    return traces_;
+  }
+
+ private:
+  sim::Network* net_;
+  std::string id_;
+  ibc::Domain domain_;
+  curve::Point self_key_;  // Γ_A (signing / shared keys)
+  std::map<std::string, bool> on_duty_;
+  std::vector<TraceRecord> traces_;
+  mutable cipher::Drbg rng_;
+};
+
+// ---------------------------------------------------------------------------
+/// Hospital storage server (§III.A): public, honest-but-curious. Stores
+/// per-pseudonym accounts of (SI, Λ, d, BE_U(d)) plus the MHI store, and
+/// answers searches without learning keywords, contents, or ownership.
+class SServer {
+ public:
+  SServer(sim::Network& net, const AServer& authority, std::string id);
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] sim::Network& net() const noexcept { return *net_; }
+
+  // §IV.B — accepts (SI, Λ) plus the privilege material.
+  bool handle_store(const StoreRequest& req);
+  // §IV.D — owner search with plain trapdoors.
+  std::optional<RetrieveResponse> handle_retrieve(const RetrieveRequest& req);
+  // §IV.E.1 messages 1–2 — hand out the current BE_{U'}(d).
+  std::optional<BeBlobResponse> handle_be_request(const BeBlobRequest& req);
+  // §IV.E.1 messages 3–4 — privileged search with θ_d-wrapped trapdoors.
+  std::optional<RetrieveResponse> handle_privileged_retrieve(
+      const PrivilegedRetrieveRequest& req);
+  // §IV.C REVOKE — re-key d and replace BE_U(d).
+  bool handle_revoke(const RevokeRequest& req);
+  // §IV.E.2 — MHI storage and role-based PEKS search.
+  bool handle_mhi_store(const MhiStoreRequest& req);
+  std::optional<MhiRetrieveResponse> handle_mhi_retrieve(
+      const MhiRetrieveRequest& req);
+
+  /// ν for a presented pseudonym: ê(Γ_S, TPp).
+  [[nodiscard]] Bytes shared_key_for(BytesView tp_bytes) const;
+
+  /// Durable state: everything the hospital must retain across restarts
+  /// (accounts and the MHI store — all ciphertext). Versioned format;
+  /// import replaces the current state and rejects malformed blobs.
+  [[nodiscard]] Bytes export_state() const;
+  bool import_state(BytesView state);
+  bool save_to_file(const std::string& path) const;
+  bool load_from_file(const std::string& path);
+
+  /// What the curious server can see — used by the unlinkability tests and
+  /// baseline comparison (E5).
+  [[nodiscard]] size_t account_count() const noexcept {
+    return accounts_.size();
+  }
+  [[nodiscard]] std::vector<std::string> visible_account_ids() const;
+  [[nodiscard]] size_t stored_bytes() const;
+  [[nodiscard]] size_t mhi_entry_count() const noexcept {
+    return mhi_store_.size();
+  }
+
+ private:
+  struct Account {
+    sse::SecureIndex index;
+    sse::EncryptedCollection files;
+    Bytes d;
+    Bytes be_blob;
+  };
+  struct MhiEntry {
+    std::string role_id;
+    std::vector<peks::PeksCiphertext> tags;
+    Bytes ibe_blob;
+  };
+
+  Account* find_account(BytesView tp, const std::string& collection);
+  static std::string account_key(BytesView tp, const std::string& collection);
+
+  sim::Network* net_;
+  std::string id_;
+  const curve::CurveCtx* ctx_;
+  curve::Point self_key_;  // Γ_S
+  std::map<std::string, Account> accounts_;
+  std::vector<MhiEntry> mhi_store_;
+};
+
+// ---------------------------------------------------------------------------
+/// The privilege bundle of §IV.C's ASSIGN: everything family/P-device need
+/// to retrieve on the patient's behalf (TPp, ν, a..d, s, KI, dictionary, X).
+struct PrivilegeBundle {
+  Bytes tp;  // serialized TPp
+  Bytes nu;  // ν — the pairwise key with the S-server (family cannot derive
+             // it without Γp, so the patient hands it over directly)
+  /// Serialized Γp — included only in the P-device's bundle, which must
+  /// decrypt IBE_TPp passcode deliveries (§IV.E.2 step 3). Empty for family.
+  Bytes gamma;
+  sse::Keys keys;
+  KeywordIndex ki;
+  std::string collection;
+  be::MemberKeys member_keys;  // X
+  /// Aliases per logical keyword in the stored index (§VI.B countermeasure).
+  uint32_t alias_count = 1;
+
+  [[nodiscard]] Bytes to_bytes() const;
+  static PrivilegeBundle from_bytes(BytesView b);
+};
+
+// ---------------------------------------------------------------------------
+/// Patient (§III.A): person + computing facilities. Owns the SSE keys, the
+/// keyword index, the pseudonym and the broadcast-encryption group.
+class Patient {
+ public:
+  Patient(sim::Network& net, std::string name, RandomSource& seed);
+
+  /// §IV.A+B setup: obtain a temporary key pair from the hospital's
+  /// authority and self-rerandomize it, generate SSE keys and the BE group.
+  void setup(const AServer& authority, const std::string& sserver_id);
+
+  /// Registers freshly created PHI files (after a diagnosis/test).
+  void add_files(std::vector<sse::PlainFile> files);
+
+  /// §VI.B category-1 countermeasure: index each logical keyword under `n`
+  /// aliases; retrievals rotate through them so the server cannot tell two
+  /// searches for the same keyword apart. Call before store_phi. n >= 1.
+  void set_keyword_aliases(size_t n);
+  [[nodiscard]] size_t keyword_aliases() const noexcept {
+    return alias_count_;
+  }
+  [[nodiscard]] const std::vector<sse::PlainFile>& files() const noexcept {
+    return files_;
+  }
+
+  /// §IV.B: build SI + KI on the home PC and upload (SI, Λ, d, BE_U(d)).
+  bool store_phi(SServer& server);
+
+  /// §IV.D: one-round keyword retrieval; decrypts Λ(kw) on the cell phone.
+  [[nodiscard]] std::vector<sse::PlainFile> retrieve(
+      SServer& server, std::span<const std::string> keywords);
+
+  // §VI.B countermeasure: the same two protocols carried over the anonymous
+  // onion overlay, so the S-server (and any network observer past the entry
+  // relay) sees only the exit relay as the traffic origin.
+  bool store_phi_anonymous(SServer& server, sim::OnionNetwork& onion);
+  [[nodiscard]] std::vector<sse::PlainFile> retrieve_anonymous(
+      SServer& server, sim::OnionNetwork& onion,
+      std::span<const std::string> keywords);
+
+  /// §IV.C ASSIGN: seal the privilege bundle for member slot `slot` under
+  /// the pre-shared key μ. `include_gamma` adds Γp (P-device bundles only).
+  [[nodiscard]] Bytes make_sealed_bundle(size_t slot, BytesView mu,
+                                         bool include_gamma = false);
+
+  /// §IV.C REVOKE: re-key d, re-broadcast, update the S-server.
+  bool revoke_member(SServer& server, size_t slot);
+
+  [[nodiscard]] const ibc::Domain::Pseudonym& pseudonym() const noexcept {
+    return pseudonym_;
+  }
+  [[nodiscard]] Bytes tp_bytes() const;
+  [[nodiscard]] const sse::Keys& keys() const noexcept { return keys_; }
+  [[nodiscard]] const KeywordIndex& keyword_index() const noexcept {
+    return ki_;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& collection() const noexcept {
+    return collection_;
+  }
+  [[nodiscard]] Bytes shared_key_nu() const;  // ν with the S-server
+  [[nodiscard]] RandomSource& rng() noexcept { return rng_; }
+  [[nodiscard]] sim::Network& net() const noexcept { return *net_; }
+
+ private:
+  sim::Network* net_;
+  std::string name_;
+  std::string sserver_id_;
+  std::string collection_ = "phi-main";
+  const curve::CurveCtx* ctx_ = nullptr;
+  ibc::Domain::Pseudonym pseudonym_;
+  sse::Keys keys_;
+  KeywordIndex ki_;
+  std::vector<sse::PlainFile> files_;
+  std::unique_ptr<be::BroadcastGroup> be_group_;
+  size_t alias_count_ = 1;
+  std::map<std::string, size_t> alias_cursor_;  // per-keyword rotation
+  mutable cipher::Drbg rng_;
+
+  /// Logical keyword -> the alias to search this time (rotating).
+  [[nodiscard]] std::string next_alias(const std::string& kw);
+};
+
+// ---------------------------------------------------------------------------
+/// Family (§III.A): trusted person holding the privilege bundle; can run
+/// the 4-message emergency retrieval of §IV.E.1.
+class Family {
+ public:
+  Family(sim::Network& net, std::string name);
+
+  /// Receives E'_μ(bundle) from the patient (local link).
+  bool receive_bundle(BytesView sealed, BytesView mu);
+  [[nodiscard]] bool has_bundle() const noexcept {
+    return bundle_.has_value();
+  }
+  [[nodiscard]] const PrivilegeBundle& bundle() const { return *bundle_; }
+
+  /// §IV.E.1: recover the current d from BE_{U'}(d), submit θ_d-wrapped
+  /// trapdoors, decrypt the returned files. Empty result when revoked or
+  /// when no keyword matches.
+  [[nodiscard]] std::vector<sse::PlainFile> emergency_retrieve(
+      SServer& server, std::span<const std::string> keywords);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  sim::Network* net_;
+  std::string name_;
+  std::optional<PrivilegeBundle> bundle_;
+};
+
+// ---------------------------------------------------------------------------
+/// P-device (§III.A): the patient-owned device for sudden emergencies. Runs
+/// the passcode-gated emergency retrieval of §IV.E.2, collects and stores
+/// MHI, keeps the RD accountability log, and alerts the patient whenever
+/// its retrieval secrets are touched (§VI.A countermeasure).
+class PDevice {
+ public:
+  PDevice(sim::Network& net, std::string id, RandomSource& seed);
+
+  bool receive_bundle(BytesView sealed, BytesView mu);
+  [[nodiscard]] bool has_bundle() const noexcept {
+    return bundle_.has_value();
+  }
+  [[nodiscard]] const PrivilegeBundle& bundle() const { return *bundle_; }
+
+  /// The emergency button: arms the device and connects to the A-server.
+  void press_emergency_button();
+  [[nodiscard]] bool in_emergency_mode() const noexcept {
+    return emergency_mode_;
+  }
+
+  /// A-server → P-device delivery (§IV.E.2 step 3). Verifies the A-server's
+  /// IBS and decrypts the nonce with the bundled Γp.
+  bool deliver_passcode(const AServer& authority,
+                        const PasscodeToPDevice& msg);
+
+  /// The physician physically types (ID, nonce). One attempt per delivered
+  /// passcode; success opens a retrieval session bound to that physician.
+  bool enter_passcode(const std::string& physician_id, BytesView nonce);
+
+  /// §IV.E.2 PHI retrieval: dictionary-checked keywords, family-style
+  /// 4-message exchange, RD record appended. Requires an open session.
+  [[nodiscard]] std::vector<sse::PlainFile> emergency_retrieve(
+      SServer& server, std::span<const std::string> keywords);
+
+  // ---- MHI (§IV.E.2) ----
+  void collect_mhi(MhiWindow window);
+  [[nodiscard]] const std::vector<MhiWindow>& collected_mhi() const noexcept {
+    return mhi_;
+  }
+  /// Encrypts each collected window under `role_id` with IBE, tags it with
+  /// PEKS keywords (the window's day plus `extra_keywords`), uploads.
+  bool store_mhi(const AServer& authority, SServer& server,
+                 const std::string& role_id,
+                 std::span<const std::string> extra_keywords);
+
+  [[nodiscard]] const std::vector<RdRecord>& records() const noexcept {
+    return rd_log_;
+  }
+  /// §VI.A: count of "your secrets were accessed" alerts sent to the
+  /// patient's phone.
+  [[nodiscard]] int alert_count() const noexcept { return alerts_; }
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+
+ private:
+  sim::Network* net_;
+  std::string id_;
+  std::optional<PrivilegeBundle> bundle_;
+  bool emergency_mode_ = false;
+  std::optional<Bytes> pending_nonce_;
+  std::optional<std::string> pending_physician_;
+  std::optional<std::string> session_physician_;
+  uint64_t session_t11_ = 0;
+  Bytes session_aserver_sig_;
+  std::vector<MhiWindow> mhi_;
+  std::vector<RdRecord> rd_log_;
+  int alerts_ = 0;
+  mutable cipher::Drbg rng_;
+};
+
+// ---------------------------------------------------------------------------
+/// Physician (§III.A): healthcare provider + workstation. Authenticates to
+/// the A-server with IBS for emergency access and MHI role keys.
+class Physician {
+ public:
+  Physician(sim::Network& net, const AServer& authority, std::string id);
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+
+  /// §IV.E.2 steps 1–2: request the one-time passcode for the patient whose
+  /// pseudonym the P-device displays. On success the A-server has also
+  /// pushed the IBE-wrapped passcode to the P-device (step 3), which the
+  /// caller delivers via PDevice::deliver_passcode.
+  struct PasscodeResult {
+    Bytes nonce;                   // the decrypted one-time passcode
+    PasscodeToPDevice for_device;  // step-3 message to forward
+  };
+  std::optional<PasscodeResult> request_passcode(AServer& authority,
+                                                 BytesView patient_tp);
+
+  /// MHI: obtain Γr for a role identity (on-duty only).
+  std::optional<curve::Point> request_role_key(AServer& authority,
+                                               const std::string& role_id);
+
+  /// MHI retrieval (§IV.E.2): compute TDr(kw), search, decrypt with Γr.
+  [[nodiscard]] std::vector<MhiWindow> retrieve_mhi(
+      SServer& server, const std::string& role_id,
+      const curve::Point& role_key, std::string_view keyword);
+
+ private:
+  sim::Network* net_;
+  std::string id_;
+  const curve::CurveCtx* ctx_;
+  ibc::PublicParams authority_pub_;
+  std::string authority_id_;
+  curve::Point private_key_;  // Γ_i
+  mutable cipher::Drbg rng_;
+};
+
+}  // namespace hcpp::core

@@ -1,0 +1,176 @@
+// §IV.E.2 MHI storage and retrieval: the P-device pre-computes
+// IBE_IDr(MHI) ‖ PEKS_σ(IDr, kw) offline and uploads it; during an
+// emergency, the authenticated on-duty physician obtains Γr from the
+// A-server, computes TDr(kw), and the S-server returns the matching
+// role-encrypted windows.
+#include "src/cipher/aead.h"
+#include "src/core/entities.h"
+
+namespace hcpp::core {
+
+namespace {
+constexpr const char* kStoreLabel = "mhi-storage";
+constexpr const char* kRetrieveLabel = "mhi-retrieval";
+constexpr const char* kRoleKeyLabel = "mhi-role-key";
+}  // namespace
+
+bool PDevice::store_mhi(const AServer& authority, SServer& server,
+                        const std::string& role_id,
+                        std::span<const std::string> extra_keywords) {
+  if (!bundle_.has_value()) return false;
+  const curve::CurveCtx& ctx = authority.ctx();
+  Bytes nu = bundle_->nu;
+  bool all_ok = true;
+  for (const MhiWindow& win : mhi_) {
+    MhiStoreRequest req;
+    req.tp = bundle_->tp;
+    req.role_id = role_id;
+    req.ibe_blob =
+        ibc::ibe_encrypt(authority.pub(), role_id, win.to_bytes(), rng_)
+            .to_bytes();
+    std::vector<std::string> kws;
+    kws.push_back("day:" + win.day);
+    for (const std::string& kw : extra_keywords) kws.push_back(kw);
+    for (const std::string& kw : kws) {
+      req.peks_tags.push_back(
+          peks::peks_encrypt(authority.pub(), role_id, kw, rng_).to_bytes());
+    }
+    req.t = net_->clock().now();
+    req.mac = protocol_mac(nu, kStoreLabel, req.body(), req.t);
+    net_->transmit(id_, server.id(), req.wire_size(), kStoreLabel);
+    all_ok &= server.handle_mhi_store(req);
+    (void)ctx;
+  }
+  return all_ok;
+}
+
+bool SServer::handle_mhi_store(const MhiStoreRequest& req) {
+  Bytes nu;
+  try {
+    nu = shared_key_for(req.tp);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (!protocol_mac_ok(nu, kStoreLabel, req.body(), req.t, req.mac)) {
+    return false;
+  }
+  if (!net_->accept_fresh(id_, req.mac, req.t, kFreshnessWindowNs)) {
+    return false;
+  }
+  MhiEntry entry;
+  entry.role_id = req.role_id;
+  try {
+    for (const Bytes& tag : req.peks_tags) {
+      entry.tags.push_back(peks::PeksCiphertext::from_bytes(*ctx_, tag));
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  entry.ibe_blob = req.ibe_blob;
+  mhi_store_.push_back(std::move(entry));
+  return true;
+}
+
+std::optional<curve::Point> Physician::request_role_key(
+    AServer& authority, const std::string& role_id) {
+  RoleKeyRequest req;
+  req.physician_id = id_;
+  req.role_id = role_id;
+  req.t = net_->clock().now();
+  req.sig =
+      ibc::ibs_sign(*ctx_, private_key_, id_, req.body(), rng_).to_bytes();
+  net_->transmit(id_, authority.id(), req.wire_size(), kRoleKeyLabel);
+  std::optional<curve::Point> key = authority.handle_role_key_request(req);
+  if (key.has_value()) {
+    net_->transmit(authority.id(), id_, curve::point_to_bytes(*key).size(),
+                   kRoleKeyLabel);
+  }
+  return key;
+}
+
+std::optional<curve::Point> AServer::handle_role_key_request(
+    const RoleKeyRequest& req) {
+  if (!net_->accept_fresh(id_, req.sig, req.t, kFreshnessWindowNs)) {
+    return std::nullopt;
+  }
+  ibc::IbsSignature sig;
+  try {
+    sig = ibc::IbsSignature::from_bytes(domain_.ctx(), req.sig);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (!ibc::ibs_verify(pub(), req.physician_id, req.body(), sig)) {
+    return std::nullopt;
+  }
+  if (!is_on_duty(req.physician_id)) return std::nullopt;
+  return domain_.extract(req.role_id);
+}
+
+std::vector<MhiWindow> Physician::retrieve_mhi(SServer& server,
+                                               const std::string& role_id,
+                                               const curve::Point& role_key,
+                                               std::string_view keyword) {
+  // ρ = ê(Γr, PK_S) = ê(PK_r, Γ_S) — the role-based pairwise key.
+  Bytes rho = ibc::shared_key_with_id(*ctx_, role_key,
+                                      server.id());
+  MhiRetrieveRequest req;
+  req.physician_id = id_;
+  req.role_id = role_id;
+  req.trapdoor = peks::peks_trapdoor(*ctx_, role_key, keyword).to_bytes();
+  req.t = net_->clock().now();
+  req.mac = protocol_mac(rho, kRetrieveLabel, req.body(), req.t);
+  net_->transmit(id_, server.id(), req.wire_size(), kRetrieveLabel);
+
+  std::optional<MhiRetrieveResponse> resp = server.handle_mhi_retrieve(req);
+  if (!resp.has_value()) return {};
+  net_->transmit(server.id(), id_, resp->wire_size(), kRetrieveLabel);
+  if (!protocol_mac_ok(rho, kRetrieveLabel, resp->body(), resp->t,
+                       resp->mac)) {
+    return {};
+  }
+  std::vector<MhiWindow> out;
+  for (const Bytes& blob : resp->ibe_blobs) {
+    try {
+      ibc::IbeCiphertext ct = ibc::IbeCiphertext::from_bytes(*ctx_, blob);
+      out.push_back(
+          MhiWindow::from_bytes(ibc::ibe_decrypt(*ctx_, role_key, ct)));
+    } catch (const std::exception&) {
+      // skip undecryptable entries
+    }
+  }
+  return out;
+}
+
+std::optional<MhiRetrieveResponse> SServer::handle_mhi_retrieve(
+    const MhiRetrieveRequest& req) {
+  // Server side of ρ: ê(PK_r, Γ_S).
+  curve::Point role_pk = ibc::Domain::public_key(*ctx_, req.role_id);
+  Bytes rho = ibc::shared_key_with_point(*ctx_, self_key_, role_pk);
+  if (!protocol_mac_ok(rho, kRetrieveLabel, req.body(), req.t, req.mac)) {
+    return std::nullopt;
+  }
+  if (!net_->accept_fresh(id_, req.mac, req.t, kFreshnessWindowNs)) {
+    return std::nullopt;
+  }
+  peks::Trapdoor td;
+  try {
+    td = peks::Trapdoor::from_bytes(*ctx_, req.trapdoor);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  MhiRetrieveResponse resp;
+  for (const MhiEntry& entry : mhi_store_) {
+    if (entry.role_id != req.role_id) continue;
+    for (const peks::PeksCiphertext& tag : entry.tags) {
+      if (peks::peks_test(*ctx_, tag, td)) {
+        resp.ibe_blobs.push_back(entry.ibe_blob);
+        break;
+      }
+    }
+  }
+  resp.t = net_->clock().now();
+  resp.mac = protocol_mac(rho, kRetrieveLabel, resp.body(), resp.t);
+  return resp;
+}
+
+}  // namespace hcpp::core

@@ -1,0 +1,79 @@
+// §IV.C ASSIGN (local, sealed under the pre-shared μ) and REVOKE (one
+// authenticated message re-keying d and replacing BE_U(d) at the S-server).
+#include "src/core/privilege.h"
+
+#include "src/cipher/aead.h"
+#include "src/common/serialize.h"
+
+namespace hcpp::core {
+
+namespace {
+constexpr const char* kAssignLabel = "privilege-assign";
+constexpr const char* kRevokeLabel = "privilege-revoke";
+}  // namespace
+
+bool assign_privilege(Patient& patient, Family& family, BytesView mu) {
+  Bytes sealed = patient.make_sealed_bundle(kFamilySlot, mu,
+                                            /*include_gamma=*/false);
+  // Local patient-LAN link; charged so E3 reports the full ASSIGN cost.
+  patient.net().transmit(patient.name(), family.name(), sealed.size(),
+                         kAssignLabel);
+  return family.receive_bundle(sealed, mu);
+}
+
+bool assign_privilege(Patient& patient, PDevice& device, BytesView mu) {
+  Bytes sealed = patient.make_sealed_bundle(kPDeviceSlot, mu,
+                                            /*include_gamma=*/true);
+  patient.net().transmit(patient.name(), device.id(), sealed.size(),
+                         kAssignLabel);
+  return device.receive_bundle(sealed, mu);
+}
+
+bool Patient::revoke_member(SServer& server, size_t slot) {
+  if (be_group_ == nullptr) throw std::logic_error("Patient: setup() first");
+  be_group_->revoke(slot);
+  Bytes d_new = rng_.bytes(32);
+  Bytes be_new = be_group_->encrypt(d_new, rng_);
+  keys_.d = d_new;
+
+  io::Writer inner;
+  inner.bytes(d_new);
+  inner.bytes(be_new);
+  Bytes nu = shared_key_nu();
+  RevokeRequest req;
+  req.tp = tp_bytes();
+  req.collection = collection_;
+  req.sealed = cipher::aead_encrypt(nu, inner.data(), {}, rng_);
+  req.t = net_->clock().now();
+  req.mac = protocol_mac(nu, kRevokeLabel, req.body(), req.t);
+  net_->transmit(name_, sserver_id_, req.wire_size(), kRevokeLabel);
+  return server.handle_revoke(req);
+}
+
+bool SServer::handle_revoke(const RevokeRequest& req) {
+  Bytes nu;
+  try {
+    nu = shared_key_for(req.tp);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (!protocol_mac_ok(nu, kRevokeLabel, req.body(), req.t, req.mac)) {
+    return false;
+  }
+  if (!net_->accept_fresh(id_, req.mac, req.t, kFreshnessWindowNs)) {
+    return false;
+  }
+  Account* acct = find_account(req.tp, req.collection);
+  if (acct == nullptr) return false;
+  try {
+    Bytes inner = cipher::aead_decrypt(nu, req.sealed, {});
+    io::Reader r(inner);
+    acct->d = r.bytes();
+    acct->be_blob = r.bytes();
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hcpp::core

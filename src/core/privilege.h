@@ -1,0 +1,19 @@
+// §IV.C privilege assignment drivers: local ASSIGN delivery to family and
+// P-device, and the BE slot conventions a deployment uses.
+#pragma once
+
+#include "src/core/entities.h"
+
+namespace hcpp::core {
+
+/// Conventional broadcast-encryption leaf slots.
+inline constexpr size_t kFamilySlot = 0;
+inline constexpr size_t kPDeviceSlot = 1;
+
+/// Runs ASSIGN over the patient's local network: seals the bundle under the
+/// pre-shared key `mu`, charges the (local) link, delivers. Returns false
+/// when the receiver rejects the bundle.
+bool assign_privilege(Patient& patient, Family& family, BytesView mu);
+bool assign_privilege(Patient& patient, PDevice& device, BytesView mu);
+
+}  // namespace hcpp::core

@@ -1,0 +1,202 @@
+#include "src/core/record.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hcpp::core {
+
+std::vector<std::string> KeywordIndex::dictionary() const {
+  std::vector<std::string> out;
+  out.reserve(entries.size());
+  for (const auto& [kw, fids] : entries) out.push_back(kw);
+  return out;
+}
+
+bool KeywordIndex::contains(std::string_view kw) const {
+  return entries.find(std::string(kw)) != entries.end();
+}
+
+Bytes KeywordIndex::to_bytes() const {
+  io::Writer w;
+  w.str(sserver_id);
+  w.u32(static_cast<uint32_t>(entries.size()));
+  for (const auto& [kw, fids] : entries) {
+    w.str(kw);
+    w.u32(static_cast<uint32_t>(fids.size()));
+    for (sse::FileId id : fids) w.u64(id);
+  }
+  w.u32(static_cast<uint32_t>(file_names.size()));
+  for (const auto& [id, name] : file_names) {
+    w.u64(id);
+    w.str(name);
+  }
+  return w.take();
+}
+
+KeywordIndex KeywordIndex::from_bytes(BytesView b) {
+  io::Reader r(b);
+  KeywordIndex ki;
+  ki.sserver_id = r.str();
+  uint32_t n = r.u32();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string kw = r.str();
+    uint32_t m = r.u32();
+    std::vector<sse::FileId>& fids = ki.entries[kw];
+    for (uint32_t j = 0; j < m; ++j) fids.push_back(r.u64());
+  }
+  uint32_t fn = r.u32();
+  for (uint32_t i = 0; i < fn; ++i) {
+    sse::FileId id = r.u64();
+    ki.file_names[id] = r.str();
+  }
+  return ki;
+}
+
+KeywordIndex KeywordIndex::build(std::span<const sse::PlainFile> files,
+                                 std::string sserver_id) {
+  KeywordIndex ki;
+  ki.sserver_id = std::move(sserver_id);
+  for (const sse::PlainFile& f : files) {
+    ki.file_names[f.id] = f.name;
+    for (const std::string& kw : f.keywords) ki.entries[kw].push_back(f.id);
+  }
+  return ki;
+}
+
+namespace {
+
+constexpr const char* kConditions[] = {
+    "hypertension", "diabetes",  "asthma",     "arrhythmia",
+    "penicillin",   "latex",     "statin",     "insulin",
+    "fracture",     "appendectomy", "influenza", "anemia"};
+
+constexpr const char* kYears[] = {"2007", "2008", "2009", "2010", "2011"};
+
+std::string pick(RandomSource& rng, std::span<const char* const> options) {
+  return options[rng.u64() % options.size()];
+}
+
+}  // namespace
+
+std::vector<sse::PlainFile> generate_phi_collection(
+    size_t n_files, RandomSource& rng, sse::FileId first_id,
+    size_t extra_keywords_per_file, size_t content_bytes) {
+  std::vector<sse::PlainFile> files;
+  files.reserve(n_files);
+  for (size_t i = 0; i < n_files; ++i) {
+    sse::PlainFile f;
+    f.id = first_id + i;
+    std::string category = pick(rng, kPhiCategories);
+    f.name = category + "-" + std::to_string(f.id);
+    f.keywords.push_back("category:" + category);
+    for (size_t k = 0; k < extra_keywords_per_file; ++k) {
+      switch (k % 3) {
+        case 0:
+          f.keywords.push_back("condition:" + pick(rng, kConditions));
+          break;
+        case 1:
+          f.keywords.push_back("year:" + pick(rng, kYears));
+          break;
+        default:
+          f.keywords.push_back("condition:" + pick(rng, kConditions));
+          break;
+      }
+    }
+    // De-duplicate keywords within the file (the index stores postings
+    // per keyword; duplicates would double-count the file).
+    std::sort(f.keywords.begin(), f.keywords.end());
+    f.keywords.erase(std::unique(f.keywords.begin(), f.keywords.end()),
+                     f.keywords.end());
+    f.content = rng.bytes(content_bytes);
+    files.push_back(std::move(f));
+  }
+  return files;
+}
+
+std::string keyword_alias(std::string_view kw, size_t i) {
+  // '\x01' cannot occur in generator keywords, so aliases never collide with
+  // logical names.
+  return std::string(kw) + "\x01" + std::to_string(i);
+}
+
+std::vector<sse::PlainFile> apply_keyword_aliases(
+    std::span<const sse::PlainFile> files, size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("apply_keyword_aliases: n must be >= 1");
+  }
+  std::vector<sse::PlainFile> out(files.begin(), files.end());
+  for (sse::PlainFile& f : out) {
+    std::vector<std::string> aliased;
+    aliased.reserve(f.keywords.size() * n);
+    for (const std::string& kw : f.keywords) {
+      for (size_t i = 0; i < n; ++i) aliased.push_back(keyword_alias(kw, i));
+    }
+    f.keywords = std::move(aliased);
+  }
+  return out;
+}
+
+Bytes MhiWindow::to_bytes() const {
+  io::Writer w;
+  w.str(day);
+  w.u32(static_cast<uint32_t>(samples.size()));
+  for (const MhiSample& s : samples) {
+    w.u64(s.t_ns);
+    // Fixed-point encoding (centi-units) keeps the format portable.
+    w.u64(static_cast<uint64_t>(s.heart_rate_bpm * 100));
+    w.u64(static_cast<uint64_t>(s.systolic_mmhg * 100));
+    w.u64(static_cast<uint64_t>(s.diastolic_mmhg * 100));
+    w.u8(s.anomaly ? 1 : 0);
+  }
+  return w.take();
+}
+
+MhiWindow MhiWindow::from_bytes(BytesView b) {
+  io::Reader r(b);
+  MhiWindow win;
+  win.day = r.str();
+  uint32_t n = r.u32();
+  win.samples.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MhiSample s;
+    s.t_ns = r.u64();
+    s.heart_rate_bpm = static_cast<double>(r.u64()) / 100.0;
+    s.systolic_mmhg = static_cast<double>(r.u64()) / 100.0;
+    s.diastolic_mmhg = static_cast<double>(r.u64()) / 100.0;
+    s.anomaly = r.u8() == 1;
+    win.samples.push_back(s);
+  }
+  return win;
+}
+
+MhiWindow generate_mhi_window(std::string day, size_t n_samples,
+                              RandomSource& rng, double anomaly_rate) {
+  MhiWindow win;
+  win.day = std::move(day);
+  win.samples.reserve(n_samples);
+  uint64_t t = 0;
+  for (size_t i = 0; i < n_samples; ++i) {
+    MhiSample s;
+    s.t_ns = t;
+    t += 1'000'000'000;  // 1 Hz sampling
+    auto noise = [&rng](double scale) {
+      return (static_cast<double>(rng.u64() % 1000) / 1000.0 - 0.5) * scale;
+    };
+    bool anomaly =
+        (static_cast<double>(rng.u64() % 10000) / 10000.0) < anomaly_rate;
+    if (anomaly) {
+      s.heart_rate_bpm = 150 + noise(30);  // tachycardia
+      s.systolic_mmhg = 185 + noise(20);   // hypertensive surge
+      s.diastolic_mmhg = 115 + noise(10);
+    } else {
+      s.heart_rate_bpm = 72 + noise(10);
+      s.systolic_mmhg = 120 + noise(12);
+      s.diastolic_mmhg = 80 + noise(8);
+    }
+    s.anomaly = anomaly;
+    win.samples.push_back(s);
+  }
+  return win;
+}
+
+}  // namespace hcpp::core

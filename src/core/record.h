@@ -1,0 +1,94 @@
+// PHI/MHI data model (§III.A definitions) and synthetic generators.
+//
+// Substitution note (DESIGN.md): real EHR corpora and body-sensor feeds are
+// not available, so we generate category-structured PHI files (the paper's
+// "allergy lists, drug history, X-ray data, surgeries, etc.") and synthetic
+// vital-sign series with injected anomalies for MHI. The generators exercise
+// exactly the code paths the paper's protocols exercise.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/sse/sse.h"
+
+namespace hcpp::core {
+
+/// The patient-side keyword index KI (§IV.A): keyword -> file ids, plus the
+/// agreed-upon keyword dictionary. Kept on the patient's cell phone and
+/// handed to family/P-device in privilege assignment.
+struct KeywordIndex {
+  std::map<std::string, std::vector<sse::FileId>> entries;
+  std::map<sse::FileId, std::string> file_names;
+  /// Network address bookkeeping (§IV.D): which S-server holds which
+  /// collection.
+  std::string sserver_id;
+
+  [[nodiscard]] std::vector<std::string> dictionary() const;
+  [[nodiscard]] bool contains(std::string_view kw) const;
+
+  [[nodiscard]] Bytes to_bytes() const;
+  static KeywordIndex from_bytes(BytesView b);
+
+  static KeywordIndex build(std::span<const sse::PlainFile> files,
+                            std::string sserver_id);
+};
+
+/// The PHI category taxonomy used by the generator (§IV.B: "the patient
+/// breaks the PHI into files for different categories").
+inline constexpr const char* kPhiCategories[] = {
+    "allergy",   "medication", "lab-result", "imaging",
+    "surgery",   "immunization", "cardiology", "clinical-note"};
+
+/// Generates a synthetic PHI collection of `n_files` files with ids starting
+/// at `first_id`. Each file carries its category keyword plus
+/// `extra_keywords_per_file` attribute keywords drawn from a closed
+/// vocabulary, so multi-file postings lists occur naturally.
+std::vector<sse::PlainFile> generate_phi_collection(
+    size_t n_files, RandomSource& rng, sse::FileId first_id = 1,
+    size_t extra_keywords_per_file = 3, size_t content_bytes = 512);
+
+// ---- Keyword aliasing (§VI.B, traffic-analysis category 1b) ---------------
+// "The patient can make the keyword choice flexible such that multiple
+// keywords can be used in different searches leading to the same set of
+// files, with the added complication in the size increase of the keyword
+// index." Each logical keyword is replaced by `n` aliases carrying the same
+// postings list; successive searches use different aliases, so the server
+// cannot tell whether two searches were for the same keyword.
+
+/// The i-th alias of a logical keyword (i < n at build time).
+std::string keyword_alias(std::string_view kw, size_t i);
+
+/// Returns a copy of `files` whose keyword lists are expanded into `n`
+/// aliases per logical keyword (n >= 1; n == 1 keeps single aliases so the
+/// alias scheme is uniform).
+std::vector<sse::PlainFile> apply_keyword_aliases(
+    std::span<const sse::PlainFile> files, size_t n);
+
+/// One monitored-health-information sample from the P-device's sensors.
+struct MhiSample {
+  uint64_t t_ns = 0;
+  double heart_rate_bpm = 0;
+  double systolic_mmhg = 0;
+  double diastolic_mmhg = 0;
+  bool anomaly = false;
+};
+
+/// A contiguous MHI window as collected and encrypted by the P-device.
+struct MhiWindow {
+  std::string day;  // e.g. "2011-04-12" — also the PEKS keyword base
+  std::vector<MhiSample> samples;
+
+  [[nodiscard]] Bytes to_bytes() const;
+  static MhiWindow from_bytes(BytesView b);
+};
+
+/// Generates a vital-sign window with ~`anomaly_rate` anomalous samples
+/// (tachycardia + pressure surge), the signals §IV.E says "would most
+/// possibly imply the cause of the sudden emergency".
+MhiWindow generate_mhi_window(std::string day, size_t n_samples,
+                              RandomSource& rng, double anomaly_rate = 0.05);
+
+}  // namespace hcpp::core

@@ -1,0 +1,129 @@
+// §IV.D common-case PHI retrieval: one round — trapdoors up, Λ(kw) down.
+// The S-server performs the O(1) SEARCH and never sees keywords or
+// plaintext; the patient decrypts on the cell phone and hands the plaintext
+// to the physician out of band.
+#include <set>
+
+#include "src/core/entities.h"
+#include "src/sim/onion.h"
+
+namespace hcpp::core {
+
+namespace {
+constexpr const char* kLabel = "phi-retrieval";
+}
+
+std::vector<sse::PlainFile> Patient::retrieve(
+    SServer& server, std::span<const std::string> keywords) {
+  if (ctx_ == nullptr) throw std::logic_error("Patient: setup() first");
+  RetrieveRequest req;
+  req.tp = tp_bytes();
+  req.collection = collection_;
+  for (const std::string& kw : keywords) {
+    // Rotate through aliases so repeated same-keyword searches look
+    // unrelated to the server (§VI.B).
+    req.trapdoors.push_back(
+        sse::make_trapdoor(keys_, next_alias(kw)).to_bytes());
+  }
+  Bytes nu = shared_key_nu();
+  req.t = net_->clock().now();
+  req.mac = protocol_mac(nu, kLabel, req.body(), req.t);
+  net_->transmit(name_, sserver_id_, req.wire_size(), kLabel);
+
+  std::optional<RetrieveResponse> resp = server.handle_retrieve(req);
+  if (!resp.has_value()) return {};
+  net_->transmit(sserver_id_, name_, resp->wire_size(), kLabel);
+  if (!protocol_mac_ok(nu, kLabel, resp->body(), resp->t, resp->mac)) {
+    return {};
+  }
+  std::vector<sse::PlainFile> out;
+  for (const auto& [id, blob] : resp->files) {
+    try {
+      out.push_back(sse::decrypt_file(keys_, blob));
+    } catch (const std::exception&) {
+      // Tampered blob: skip it rather than abort the treatment flow.
+    }
+  }
+  return out;
+}
+
+std::vector<sse::PlainFile> Patient::retrieve_anonymous(
+    SServer& server, sim::OnionNetwork& onion,
+    std::span<const std::string> keywords) {
+  if (ctx_ == nullptr) throw std::logic_error("Patient: setup() first");
+  RetrieveRequest req;
+  req.tp = tp_bytes();
+  req.collection = collection_;
+  for (const std::string& kw : keywords) {
+    req.trapdoors.push_back(
+        sse::make_trapdoor(keys_, next_alias(kw)).to_bytes());
+  }
+  Bytes nu = shared_key_nu();
+  req.t = net_->clock().now();
+  req.mac = protocol_mac(nu, kLabel, req.body(), req.t);
+
+  Bytes reply = onion.round_trip(
+      name_, sserver_id_, req.to_wire(),
+      [&server](BytesView wire) -> Bytes {
+        try {
+          std::optional<RetrieveResponse> resp =
+              server.handle_retrieve(RetrieveRequest::from_wire(wire));
+          return resp.has_value() ? resp->to_wire() : Bytes{};
+        } catch (const std::exception&) {
+          return Bytes{};
+        }
+      },
+      rng_);
+  if (reply.empty()) return {};
+  RetrieveResponse resp;
+  try {
+    resp = RetrieveResponse::from_wire(reply);
+  } catch (const std::exception&) {
+    return {};
+  }
+  if (!protocol_mac_ok(nu, kLabel, resp.body(), resp.t, resp.mac)) return {};
+  std::vector<sse::PlainFile> out;
+  for (const auto& [id, blob] : resp.files) {
+    try {
+      out.push_back(sse::decrypt_file(keys_, blob));
+    } catch (const std::exception&) {
+      // skip tampered blobs
+    }
+  }
+  return out;
+}
+
+std::optional<RetrieveResponse> SServer::handle_retrieve(
+    const RetrieveRequest& req) {
+  Bytes nu;
+  try {
+    nu = shared_key_for(req.tp);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (!protocol_mac_ok(nu, kLabel, req.body(), req.t, req.mac)) {
+    return std::nullopt;
+  }
+  if (!net_->accept_fresh(id_, req.mac, req.t, kFreshnessWindowNs)) {
+    return std::nullopt;
+  }
+  Account* acct = find_account(req.tp, req.collection);
+  if (acct == nullptr) return std::nullopt;
+
+  std::set<sse::FileId> matched;
+  for (const Bytes& td_bytes : req.trapdoors) {
+    std::optional<sse::Trapdoor> td = sse::Trapdoor::from_bytes(td_bytes);
+    if (!td.has_value()) continue;
+    for (sse::FileId id : sse::search(acct->index, *td)) matched.insert(id);
+  }
+  RetrieveResponse resp;
+  for (sse::FileId id : matched) {
+    auto it = acct->files.files.find(id);
+    if (it != acct->files.files.end()) resp.files.emplace_back(id, it->second);
+  }
+  resp.t = net_->clock().now();
+  resp.mac = protocol_mac(nu, kLabel, resp.body(), resp.t);
+  return resp;
+}
+
+}  // namespace hcpp::core

@@ -1,0 +1,44 @@
+// One-call wiring of a complete HCPP deployment (Fig. 1): A-server, hospital
+// S-server, patient with PHI, family, P-device and two physicians (one on
+// duty, one off). Tests, examples and benches all start here.
+#pragma once
+
+#include <memory>
+
+#include "src/core/accountability.h"
+#include "src/core/entities.h"
+#include "src/core/privilege.h"
+#include "src/curve/params.h"
+
+namespace hcpp::core {
+
+struct DeploymentConfig {
+  curve::ParamSet params = curve::ParamSet::kTest;
+  size_t n_phi_files = 24;
+  size_t keywords_per_file = 3;
+  size_t file_content_bytes = 512;
+  uint64_t seed = 42;
+  bool store_phi = true;          // run §IV.B during creation
+  bool assign_privileges = true;  // run §IV.C during creation
+};
+
+struct Deployment {
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<cipher::Drbg> rng;
+  std::unique_ptr<AServer> aserver;
+  std::unique_ptr<SServer> sserver;
+  std::unique_ptr<Patient> patient;
+  std::unique_ptr<Family> family;
+  std::unique_ptr<PDevice> pdevice;
+  std::unique_ptr<Physician> on_duty;
+  std::unique_ptr<Physician> off_duty;
+  Bytes mu_family;   // pre-shared key patient↔family
+  Bytes mu_pdevice;  // pre-shared key patient↔P-device
+
+  static Deployment create(const DeploymentConfig& config = {});
+
+  /// Convenience: every keyword present in the patient's index.
+  [[nodiscard]] std::vector<std::string> all_keywords() const;
+};
+
+}  // namespace hcpp::core

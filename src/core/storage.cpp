@@ -1,0 +1,93 @@
+// §IV.B private PHI storage: one authenticated upload of (TPp, SI, Λ) plus
+// the privilege material (d, BE_U(d)) the ASSIGN/REVOKE extension needs.
+#include "src/core/entities.h"
+#include "src/sim/onion.h"
+
+namespace hcpp::core {
+
+namespace {
+constexpr const char* kLabel = "phi-storage";
+
+// `index_files` carry the (possibly aliased) search keywords; `body_files`
+// are what actually gets encrypted and returned to searchers.
+StoreRequest build_store_request(RandomSource& rng,
+                                 const std::string& collection,
+                                 std::span<const sse::PlainFile> index_files,
+                                 std::span<const sse::PlainFile> body_files,
+                                 be::BroadcastGroup& be_group,
+                                 const sse::Keys& keys, uint64_t now,
+                                 BytesView nu, BytesView tp) {
+  StoreRequest req;
+  req.tp = Bytes(tp.begin(), tp.end());
+  req.collection = collection;
+  req.index = sse::build_index(index_files, keys, rng).to_bytes();
+  req.files = sse::encrypt_collection(body_files, keys, rng).to_bytes();
+  req.d = keys.d;
+  req.be_blob = be_group.encrypt(keys.d, rng);
+  req.t = now;
+  req.mac = protocol_mac(nu, kLabel, req.body(), req.t);
+  return req;
+}
+}  // namespace
+
+bool Patient::store_phi(SServer& server) {
+  if (ctx_ == nullptr) throw std::logic_error("Patient: setup() first");
+  // Home-PC side: secure index (over keyword aliases, §VI.B), logical
+  // keyword index, encrypted collection.
+  ki_ = KeywordIndex::build(files_, sserver_id_);
+  std::vector<sse::PlainFile> aliased =
+      apply_keyword_aliases(files_, alias_count_);
+  StoreRequest req = build_store_request(
+      rng_, collection_, aliased, files_, *be_group_, keys_,
+      net_->clock().now(), shared_key_nu(), tp_bytes());
+  net_->transmit(name_, sserver_id_, req.wire_size(), kLabel);
+  return server.handle_store(req);
+}
+
+bool Patient::store_phi_anonymous(SServer& server, sim::OnionNetwork& onion) {
+  if (ctx_ == nullptr) throw std::logic_error("Patient: setup() first");
+  ki_ = KeywordIndex::build(files_, sserver_id_);
+  std::vector<sse::PlainFile> aliased =
+      apply_keyword_aliases(files_, alias_count_);
+  StoreRequest req = build_store_request(
+      rng_, collection_, aliased, files_, *be_group_, keys_,
+      net_->clock().now(), shared_key_nu(), tp_bytes());
+  Bytes reply = onion.round_trip(
+      name_, sserver_id_, req.to_wire(),
+      [&server](BytesView wire) -> Bytes {
+        try {
+          bool ok = server.handle_store(StoreRequest::from_wire(wire));
+          return Bytes{static_cast<uint8_t>(ok ? 1 : 0)};
+        } catch (const std::exception&) {
+          return Bytes{0};
+        }
+      },
+      rng_);
+  return reply.size() == 1 && reply[0] == 1;
+}
+
+bool SServer::handle_store(const StoreRequest& req) {
+  Bytes nu;
+  try {
+    nu = shared_key_for(req.tp);
+  } catch (const std::exception&) {
+    return false;  // malformed pseudonym point
+  }
+  if (!protocol_mac_ok(nu, kLabel, req.body(), req.t, req.mac)) return false;
+  if (!net_->accept_fresh(id_, req.mac, req.t, kFreshnessWindowNs)) {
+    return false;
+  }
+  Account acct;
+  try {
+    acct.index = sse::SecureIndex::from_bytes(req.index);
+    acct.files = sse::EncryptedCollection::from_bytes(req.files);
+  } catch (const std::exception&) {
+    return false;
+  }
+  acct.d = req.d;
+  acct.be_blob = req.be_blob;
+  accounts_[account_key(req.tp, req.collection)] = std::move(acct);
+  return true;
+}
+
+}  // namespace hcpp::core

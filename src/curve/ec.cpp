@@ -1,0 +1,369 @@
+#include "src/curve/ec.h"
+
+#include <stdexcept>
+
+#include "src/hash/sha256.h"
+#include "src/mp/prime.h"
+
+namespace hcpp::curve {
+
+using field::Fp;
+
+CurveCtx::CurveCtx(const mp::U512& p_in, const mp::U512& q_in,
+                   const mp::U512& gx_in, const mp::U512& gy_in,
+                   std::string name_in)
+    : p(p_in),
+      q(q_in),
+      fp(p_in),
+      zq(q_in),
+      gx(gx_in),
+      gy(gy_in),
+      name(std::move(name_in)) {
+  // cofactor = (p+1)/q, and p+1 must divide exactly (runs once per set).
+  mp::U512 p_plus1;
+  mp::add(p_plus1, p, mp::U512::from_u64(1));
+  mp::DivMod dm = mp::divmod(p_plus1, q);
+  if (!dm.remainder.is_zero()) {
+    throw std::invalid_argument("CurveCtx: q does not divide p+1");
+  }
+  cofactor = dm.quotient;
+}
+
+bool operator==(const Point& a, const Point& b) noexcept {
+  if (a.infinity || b.infinity) return a.infinity == b.infinity;
+  return a.x == b.x && a.y == b.y;
+}
+
+Point generator(const CurveCtx& ctx) {
+  Point g;
+  g.x = Fp(&ctx.fp, ctx.gx);
+  g.y = Fp(&ctx.fp, ctx.gy);
+  g.infinity = false;
+  return g;
+}
+
+bool on_curve(const CurveCtx& ctx, const Point& pt) {
+  if (pt.infinity) return true;
+  // y^2 == x^3 + x
+  Fp lhs = pt.y.sqr();
+  Fp rhs = pt.x.sqr() * pt.x + pt.x;
+  (void)ctx;
+  return lhs == rhs;
+}
+
+bool in_prime_subgroup(const CurveCtx& ctx, const Point& pt) {
+  if (pt.infinity || !on_curve(ctx, pt)) return false;
+  return mul(ctx, pt, ctx.q).infinity;
+}
+
+Point negate(const Point& a) {
+  if (a.infinity) return a;
+  Point r = a;
+  r.y = a.y.neg();
+  return r;
+}
+
+Point add(const CurveCtx& ctx, const Point& a, const Point& b) {
+  if (a.infinity) return b;
+  if (b.infinity) return a;
+  if (a.x == b.x) {
+    if (a.y == b.y.neg()) return Point::at_infinity();
+    return dbl(ctx, a);
+  }
+  Fp slope = (b.y - a.y) * (b.x - a.x).inv();
+  Fp x3 = slope.sqr() - a.x - b.x;
+  Fp y3 = slope * (a.x - x3) - a.y;
+  return Point{x3, y3, false};
+}
+
+Point dbl(const CurveCtx& ctx, const Point& a) {
+  if (a.infinity) return a;
+  if (a.y.is_zero()) return Point::at_infinity();
+  const Fp one = Fp::one(&ctx.fp);
+  Fp x_sq = a.x.sqr();
+  // slope = (3x^2 + 1) / (2y)   (curve coefficient a = 1)
+  Fp num = x_sq + x_sq + x_sq + one;
+  Fp den = (a.y + a.y).inv();
+  Fp slope = num * den;
+  Fp x3 = slope.sqr() - a.x - a.x;
+  Fp y3 = slope * (a.x - x3) - a.y;
+  return Point{x3, y3, false};
+}
+
+namespace {
+
+// Jacobian coordinates (X, Y, Z) with x = X/Z^2, y = Y/Z^3.
+struct Jac {
+  Fp x, y, z;
+  bool infinity = true;
+};
+
+Jac to_jac(const CurveCtx& ctx, const Point& pt) {
+  if (pt.infinity) return Jac{};
+  return Jac{pt.x, pt.y, Fp::one(&ctx.fp), false};
+}
+
+Point from_jac(const CurveCtx& ctx, const Jac& j) {
+  (void)ctx;
+  if (j.infinity) return Point::at_infinity();
+  Fp zinv = j.z.inv();
+  Fp zinv2 = zinv.sqr();
+  return Point{j.x * zinv2, j.y * zinv2 * zinv, false};
+}
+
+Jac jac_dbl(const CurveCtx& ctx, const Jac& pt) {
+  if (pt.infinity || pt.y.is_zero()) return Jac{};
+  const Fp one = Fp::one(&ctx.fp);
+  (void)one;
+  // dbl-2007-bl style for a = 1 (generic a): M = 3X^2 + a·Z^4.
+  Fp xx = pt.x.sqr();
+  Fp yy = pt.y.sqr();
+  Fp yyyy = yy.sqr();
+  Fp zz = pt.z.sqr();
+  Fp s = ((pt.x + yy).sqr() - xx - yyyy);
+  s = s + s;
+  Fp z4 = zz.sqr();
+  Fp m = xx + xx + xx + z4;  // a = 1
+  Fp t = m.sqr() - s - s;
+  Jac r;
+  r.x = t;
+  Fp eight_yyyy = yyyy + yyyy;
+  eight_yyyy = eight_yyyy + eight_yyyy;
+  eight_yyyy = eight_yyyy + eight_yyyy;
+  r.y = m * (s - t) - eight_yyyy;
+  r.z = (pt.y + pt.z).sqr() - yy - zz;
+  r.infinity = false;
+  return r;
+}
+
+// Mixed addition: q is affine (z = 1).
+Jac jac_add_affine(const CurveCtx& ctx, const Jac& a, const Point& b) {
+  if (b.infinity) return a;
+  if (a.infinity) return to_jac(ctx, b);
+  Fp z1z1 = a.z.sqr();
+  Fp u2 = b.x * z1z1;
+  Fp s2 = b.y * z1z1 * a.z;
+  if (a.x == u2) {
+    if (a.y == s2) return jac_dbl(ctx, a);
+    return Jac{};
+  }
+  Fp h = u2 - a.x;
+  Fp hh = h.sqr();
+  Fp i = hh + hh;
+  i = i + i;
+  Fp j = h * i;
+  Fp rr = s2 - a.y;
+  rr = rr + rr;
+  Fp v = a.x * i;
+  Jac r;
+  r.x = rr.sqr() - j - v - v;
+  Fp two_y1j = a.y * j;
+  two_y1j = two_y1j + two_y1j;
+  r.y = rr * (v - r.x) - two_y1j;
+  r.z = (a.z + h).sqr() - z1z1 - hh;
+  r.infinity = false;
+  return r;
+}
+
+}  // namespace
+
+Point mul(const CurveCtx& ctx, const Point& a, const mp::U512& k) {
+  if (a.infinity || k.is_zero()) return Point::at_infinity();
+  Jac acc;
+  for (size_t i = k.bit_length(); i-- > 0;) {
+    acc = jac_dbl(ctx, acc);
+    if (k.bit(i)) acc = jac_add_affine(ctx, acc, a);
+  }
+  return from_jac(ctx, acc);
+}
+
+Point mul_wnaf(const CurveCtx& ctx, const Point& a, const mp::U512& k) {
+  if (a.infinity || k.is_zero()) return Point::at_infinity();
+  // Width-4 NAF recoding: digits in {0, ±1, ±3, …, ±15}, no two adjacent
+  // nonzero digits.
+  std::vector<int8_t> naf;
+  naf.reserve(k.bit_length() + 1);
+  mp::U512 rem = k;
+  while (!rem.is_zero()) {
+    int8_t digit = 0;
+    if (rem.is_odd()) {
+      int low = static_cast<int>(rem.w[0] & 15);
+      digit = static_cast<int8_t>(low >= 8 ? low - 16 : low);
+      mp::U512 tmp;
+      if (digit > 0) {
+        mp::sub(tmp, rem, mp::U512::from_u64(static_cast<uint64_t>(digit)));
+      } else {
+        mp::add(tmp, rem, mp::U512::from_u64(static_cast<uint64_t>(-digit)));
+      }
+      rem = tmp;
+    }
+    naf.push_back(digit);
+    rem = mp::shr1(rem);
+  }
+  // Odd multiples 1a, 3a, …, 15a (affine, so the loop can use mixed
+  // Jacobian additions).
+  Point table[8];
+  table[0] = a;
+  Point twice = dbl(ctx, a);
+  for (int i = 1; i < 8; ++i) table[i] = add(ctx, table[i - 1], twice);
+  Jac acc;
+  for (size_t i = naf.size(); i-- > 0;) {
+    acc = jac_dbl(ctx, acc);
+    int8_t d = naf[i];
+    if (d > 0) acc = jac_add_affine(ctx, acc, table[(d - 1) / 2]);
+    if (d < 0) acc = jac_add_affine(ctx, acc, negate(table[(-d - 1) / 2]));
+  }
+  return from_jac(ctx, acc);
+}
+
+namespace {
+constexpr size_t kFixedBaseWindow = 4;
+constexpr size_t kFixedBaseWindows = mp::kBits / kFixedBaseWindow;
+
+void build_fixed_base_table(const CurveCtx& ctx) {
+  ctx.fixed_base_table.assign(kFixedBaseWindows, {});
+  Point base = generator(ctx);
+  for (size_t j = 0; j < kFixedBaseWindows; ++j) {
+    std::vector<Point>& row = ctx.fixed_base_table[j];
+    row.reserve(15);
+    Point acc = base;  // v = 1
+    for (int v = 1; v <= 15; ++v) {
+      row.push_back(acc);
+      acc = add(ctx, acc, base);
+    }
+    base = acc;  // 16 · (16^j · G) = 16^{j+1} · G
+  }
+}
+}  // namespace
+
+Point mul_generator(const CurveCtx& ctx, const mp::U512& k) {
+  std::call_once(ctx.fixed_base_once, [&ctx] { build_fixed_base_table(ctx); });
+  Jac acc;  // mixed Jacobian additions only — no doublings, one inversion
+  for (size_t j = 0; j < kFixedBaseWindows; ++j) {
+    uint64_t v = (k.w[(4 * j) / 64] >> ((4 * j) % 64)) & 15;
+    if (v != 0) {
+      acc = jac_add_affine(ctx, acc, ctx.fixed_base_table[j][v - 1]);
+    }
+  }
+  return from_jac(ctx, acc);
+}
+
+mp::U512 random_scalar(const CurveCtx& ctx, RandomSource& rng) {
+  for (;;) {
+    mp::U512 k = mp::random_below(ctx.q, rng);
+    if (!k.is_zero()) return k;
+  }
+}
+
+Point hash_to_point(const CurveCtx& ctx, BytesView msg, std::string_view tag) {
+  for (uint32_t ctr = 0;; ++ctr) {
+    Bytes input = to_bytes(tag);
+    input.push_back(static_cast<uint8_t>(ctr >> 24));
+    input.push_back(static_cast<uint8_t>(ctr >> 16));
+    input.push_back(static_cast<uint8_t>(ctr >> 8));
+    input.push_back(static_cast<uint8_t>(ctr));
+    append(input, msg);
+    // Two hash blocks give up to 512 candidate bits; reduce mod p.
+    Bytes wide = hash::sha256_bytes(input);
+    Bytes second = hash::sha256_bytes(wide);
+    append(wide, second);
+    mp::U512 x_candidate = mp::mod(mp::U512::from_bytes_be(wide), ctx.p);
+    Fp x(&ctx.fp, x_candidate);
+    Fp rhs = x.sqr() * x + x;
+    std::optional<Fp> y = rhs.sqrt();
+    if (!y.has_value()) continue;
+    Point pt{x, *y, false};
+    Point in_subgroup = mul(ctx, pt, ctx.cofactor);
+    if (in_subgroup.infinity) continue;
+    return in_subgroup;
+  }
+}
+
+mp::U512 hash_to_scalar(const CurveCtx& ctx, BytesView msg,
+                        std::string_view tag) {
+  for (uint32_t ctr = 0;; ++ctr) {
+    Bytes input = to_bytes(tag);
+    input.push_back(static_cast<uint8_t>(ctr));
+    append(input, msg);
+    Bytes wide = hash::sha256_bytes(input);
+    Bytes second = hash::sha256_bytes(wide);
+    append(wide, second);
+    mp::U512 s = mp::mod(mp::U512::from_bytes_be(wide), ctx.q);
+    if (!s.is_zero()) return s;
+  }
+}
+
+Bytes point_to_bytes(const Point& pt) {
+  Bytes out;
+  if (pt.infinity) {
+    out.push_back(0);
+    return out;
+  }
+  out.push_back(1);
+  append(out, pt.x.value().to_bytes_be());
+  append(out, pt.y.value().to_bytes_be());
+  return out;
+}
+
+Point point_from_bytes(const CurveCtx& ctx, BytesView b) {
+  if (b.empty()) throw std::invalid_argument("point_from_bytes: empty");
+  if (b[0] == 0) {
+    if (b.size() != 1) {
+      throw std::invalid_argument("point_from_bytes: bad infinity encoding");
+    }
+    return Point::at_infinity();
+  }
+  if (b[0] != 1 || b.size() != 1 + 2 * 64) {
+    throw std::invalid_argument("point_from_bytes: bad length");
+  }
+  mp::U512 x = mp::U512::from_bytes_be(b.subspan(1, 64));
+  mp::U512 y = mp::U512::from_bytes_be(b.subspan(65, 64));
+  Point pt{field::Fp(&ctx.fp, x), field::Fp(&ctx.fp, y), false};
+  if (!on_curve(ctx, pt)) {
+    throw std::invalid_argument("point_from_bytes: not on curve");
+  }
+  return pt;
+}
+
+Bytes point_to_bytes_compressed(const Point& pt) {
+  Bytes out;
+  if (pt.infinity) {
+    out.push_back(0);
+    return out;
+  }
+  // Flag 2 | parity-of-y distinguishes the two roots.
+  out.push_back(static_cast<uint8_t>(2 | (pt.y.value().w[0] & 1)));
+  append(out, pt.x.value().to_bytes_be());
+  return out;
+}
+
+Point point_from_bytes_compressed(const CurveCtx& ctx, BytesView b) {
+  if (b.empty()) {
+    throw std::invalid_argument("point_from_bytes_compressed: empty");
+  }
+  if (b[0] == 0) {
+    if (b.size() != 1) {
+      throw std::invalid_argument(
+          "point_from_bytes_compressed: bad infinity encoding");
+    }
+    return Point::at_infinity();
+  }
+  if ((b[0] & ~1) != 2 || b.size() != 1 + 64) {
+    throw std::invalid_argument("point_from_bytes_compressed: bad layout");
+  }
+  field::Fp x(&ctx.fp, mp::U512::from_bytes_be(b.subspan(1)));
+  field::Fp rhs = x.sqr() * x + x;
+  std::optional<field::Fp> y = rhs.sqrt();
+  if (!y.has_value()) {
+    throw std::invalid_argument("point_from_bytes_compressed: no such point");
+  }
+  uint64_t want_parity = b[0] & 1;
+  if ((y->value().w[0] & 1) != want_parity) *y = y->neg();
+  Point pt{x, *y, false};
+  if (!on_curve(ctx, pt)) {
+    throw std::invalid_argument("point_from_bytes_compressed: off curve");
+  }
+  return pt;
+}
+
+}  // namespace hcpp::curve

@@ -1,0 +1,69 @@
+#include "src/curve/pairing.h"
+
+namespace hcpp::curve {
+
+using field::Fp;
+using field::Fp2;
+
+namespace {
+
+// Evaluates the tangent line at V against ψ(Q) = (−xq, yq·i) and advances
+// V <- 2V. Returns the line value in F_{p^2}.
+Fp2 double_step(const CurveCtx& ctx, Point& v, const Fp& neg_xq,
+                const Fp& yq) {
+  const Fp one = Fp::one(&ctx.fp);
+  Fp x_sq = v.x.sqr();
+  Fp slope = (x_sq + x_sq + x_sq + one) * (v.y + v.y).inv();
+  // l(X, Y) = Y − y_v − m(X − x_v); at ψ(Q) = (−x_q, y_q·i):
+  // real = −y_v − m(−x_q − x_v) = m(x_v − (−x_q)) − y_v, imag = y_q.
+  Fp real = slope * (v.x - neg_xq) - v.y;
+  Fp2 line(real, yq);
+  Fp x3 = slope.sqr() - v.x - v.x;
+  Fp y3 = slope * (v.x - x3) - v.y;
+  v = Point{x3, y3, false};
+  return line;
+}
+
+// Evaluates the chord through V and P against ψ(Q) and advances V <- V + P.
+// When V = −P the chord is vertical: its value lies in F_p and is wiped out
+// by the final exponentiation, so we contribute 1 and set V to infinity.
+Fp2 add_step(const CurveCtx& ctx, Point& v, const Point& p, const Fp& neg_xq,
+             const Fp& yq) {
+  if (v.x == p.x) {
+    if (v.y == p.y.neg()) {
+      v = Point::at_infinity();
+      return Fp2::one(&ctx.fp);
+    }
+    return double_step(ctx, v, neg_xq, yq);
+  }
+  Fp slope = (p.y - v.y) * (p.x - v.x).inv();
+  Fp real = slope * (v.x - neg_xq) - v.y;
+  Fp2 line(real, yq);
+  Fp x3 = slope.sqr() - v.x - p.x;
+  Fp y3 = slope * (v.x - x3) - v.y;
+  v = Point{x3, y3, false};
+  return line;
+}
+
+}  // namespace
+
+Gt pairing(const CurveCtx& ctx, const Point& p_in, const Point& q_in) {
+  if (p_in.infinity || q_in.infinity) return Gt::one(ctx);
+  const Fp neg_xq = q_in.x.neg();
+  const Fp yq = q_in.y;
+  Fp2 f = Fp2::one(&ctx.fp);
+  Point v = p_in;
+  for (size_t i = ctx.q.bit_length() - 1; i-- > 0;) {
+    f = f.sqr();
+    if (!v.infinity) f = f * double_step(ctx, v, neg_xq, yq);
+    if (ctx.q.bit(i) && !v.infinity) {
+      f = f * add_step(ctx, v, p_in, neg_xq, yq);
+    }
+  }
+  // Final exponentiation: f^((p^2−1)/q) = (f^(p−1))^c. The Frobenius on
+  // F_{p^2} is conjugation, so f^(p−1) = conj(f)·f^{-1}.
+  Fp2 t = f.conj() * f.inv();
+  return Gt(t.pow(ctx.cofactor));
+}
+
+}  // namespace hcpp::curve

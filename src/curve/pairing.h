@@ -1,0 +1,40 @@
+// Modified Tate pairing ê: G1 × G1 → GT ⊂ F_{p^2}* (the paper's bilinear map
+// e of §II.A). Computed as the Tate pairing e(P, ψ(Q)) with the distortion
+// map ψ(x, y) = (−x, i·y), using Miller's algorithm with denominator
+// elimination (all vertical-line values land in F_p and are annihilated by
+// the (p−1) factor of the final exponentiation (p²−1)/q = (p−1)·c).
+#pragma once
+
+#include "src/curve/ec.h"
+
+namespace hcpp::curve {
+
+/// Target-group element wrapper. Elements returned by `pairing` lie in the
+/// order-q subgroup of F_{p^2}*.
+class Gt {
+ public:
+  Gt() = default;
+  explicit Gt(field::Fp2 v) : v_(std::move(v)) {}
+
+  static Gt one(const CurveCtx& ctx) {
+    return Gt(field::Fp2::one(&ctx.fp));
+  }
+
+  [[nodiscard]] Gt operator*(const Gt& o) const { return Gt(v_ * o.v_); }
+  [[nodiscard]] Gt pow(const mp::U512& e) const { return Gt(v_.pow(e)); }
+  [[nodiscard]] Gt inv() const { return Gt(v_.inv()); }
+  [[nodiscard]] bool is_one() const { return v_.is_one(); }
+
+  friend bool operator==(const Gt& a, const Gt& b) noexcept = default;
+
+  /// Canonical 128-byte encoding; feed into HKDF for key derivation.
+  [[nodiscard]] Bytes to_bytes() const { return v_.to_bytes(); }
+
+ private:
+  field::Fp2 v_;
+};
+
+/// ê(P, Q). Returns Gt::one if either input is the point at infinity.
+Gt pairing(const CurveCtx& ctx, const Point& p_in, const Point& q_in);
+
+}  // namespace hcpp::curve

@@ -1,0 +1,37 @@
+// Named pairing parameter sets and fresh parameter generation.
+//
+//  * kTest       — 256-bit p / 150-bit q: fast, used by the test suite.
+//  * kProduction — 512-bit p / 160-bit q: the "1024-bit RSA equivalent"
+//                  setting the paper's §V.B.3 timing discussion assumes.
+//
+// Both named sets are generated deterministically (fixed seeds) on first use
+// and cached for the process lifetime, so every test/bench run shares one
+// context per set.
+#pragma once
+
+#include <memory>
+
+#include "src/curve/ec.h"
+
+namespace hcpp::curve {
+
+enum class ParamSet { kTest, kProduction };
+
+/// Shared immutable context for a named set (never null).
+const CurveCtx& params(ParamSet set);
+
+struct GeneratedParams {
+  mp::U512 p, q, gx, gy;
+};
+
+/// Generates a fresh domain: prime q of `q_bits`, prime p = c·q − 1 of about
+/// `p_bits` bits with p ≡ 3 (mod 4), and a generator of the order-q subgroup.
+GeneratedParams generate_params(size_t q_bits, size_t p_bits,
+                                RandomSource& rng);
+
+/// Wraps generated parameters in a context (validates q | p+1, generator
+/// order and curve membership; throws std::invalid_argument on failure).
+std::unique_ptr<CurveCtx> make_curve(const GeneratedParams& gp,
+                                     std::string name);
+
+}  // namespace hcpp::curve

@@ -1,0 +1,52 @@
+#include "src/field/fp2.h"
+
+namespace hcpp::field {
+
+bool Fp2::is_one() const {
+  return b_.is_zero() && a_ == Fp::one(a_.ctx());
+}
+
+Fp2 Fp2::operator+(const Fp2& o) const { return {a_ + o.a_, b_ + o.b_}; }
+
+Fp2 Fp2::operator-(const Fp2& o) const { return {a_ - o.a_, b_ - o.b_}; }
+
+Fp2 Fp2::operator*(const Fp2& o) const {
+  // Karatsuba: 3 base-field multiplications.
+  Fp t0 = a_ * o.a_;
+  Fp t1 = b_ * o.b_;
+  Fp t2 = (a_ + b_) * (o.a_ + o.b_);
+  return {t0 - t1, t2 - t0 - t1};
+}
+
+Fp2 Fp2::sqr() const {
+  // (a+bi)^2 = (a+b)(a-b) + 2ab·i
+  Fp t0 = (a_ + b_) * (a_ - b_);
+  Fp t1 = a_ * b_;
+  return {t0, t1 + t1};
+}
+
+Fp2 Fp2::conj() const { return {a_, b_.neg()}; }
+
+Fp2 Fp2::inv() const {
+  // (a+bi)^{-1} = (a-bi) / (a^2 + b^2)
+  Fp norm = a_.sqr() + b_.sqr();
+  Fp ninv = norm.inv();
+  return {a_ * ninv, b_.neg() * ninv};
+}
+
+Fp2 Fp2::pow(const mp::U512& e) const {
+  Fp2 result = one(ctx());
+  for (size_t i = e.bit_length(); i-- > 0;) {
+    result = result.sqr();
+    if (e.bit(i)) result = result * *this;
+  }
+  return result;
+}
+
+Bytes Fp2::to_bytes() const {
+  Bytes out = a_.value().to_bytes_be();
+  append(out, b_.value().to_bytes_be());
+  return out;
+}
+
+}  // namespace hcpp::field

@@ -1,0 +1,45 @@
+// Quadratic extension F_{p^2} = F_p[i] / (i^2 + 1), valid because
+// p ≡ 3 (mod 4) makes -1 a non-residue. This is the pairing target group's
+// home; the Frobenius map is complex conjugation, which the final
+// exponentiation exploits.
+#pragma once
+
+#include "src/field/fp.h"
+
+namespace hcpp::field {
+
+class Fp2 {
+ public:
+  Fp2() = default;
+  Fp2(Fp a, Fp b) : a_(a), b_(b) {}
+
+  static Fp2 zero(const FpCtx* ctx) { return {Fp::zero(ctx), Fp::zero(ctx)}; }
+  static Fp2 one(const FpCtx* ctx) { return {Fp::one(ctx), Fp::zero(ctx)}; }
+
+  [[nodiscard]] const Fp& re() const noexcept { return a_; }
+  [[nodiscard]] const Fp& im() const noexcept { return b_; }
+  [[nodiscard]] const FpCtx* ctx() const noexcept { return a_.ctx(); }
+  [[nodiscard]] bool is_zero() const noexcept {
+    return a_.is_zero() && b_.is_zero();
+  }
+  [[nodiscard]] bool is_one() const;
+
+  [[nodiscard]] Fp2 operator+(const Fp2& o) const;
+  [[nodiscard]] Fp2 operator-(const Fp2& o) const;
+  [[nodiscard]] Fp2 operator*(const Fp2& o) const;
+  [[nodiscard]] Fp2 sqr() const;
+  [[nodiscard]] Fp2 conj() const;
+  [[nodiscard]] Fp2 inv() const;
+  [[nodiscard]] Fp2 pow(const mp::U512& e) const;
+
+  friend bool operator==(const Fp2& a, const Fp2& b) noexcept = default;
+
+  /// 128-byte canonical encoding (plain a || plain b), for key derivation.
+  [[nodiscard]] Bytes to_bytes() const;
+
+ private:
+  Fp a_;  // real part
+  Fp b_;  // coefficient of i
+};
+
+}  // namespace hcpp::field

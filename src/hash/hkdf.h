@@ -1,0 +1,17 @@
+// HKDF-SHA256 (RFC 5869): the key-derivation function used to expand pairing
+// values (G2 elements) and shared secrets into symmetric keys.
+#pragma once
+
+#include "src/common/bytes.h"
+
+namespace hcpp::hash {
+
+Bytes hkdf_extract(BytesView salt, BytesView ikm);
+
+/// `out_len` <= 255 * 32.
+Bytes hkdf_expand(BytesView prk, BytesView info, size_t out_len);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(BytesView ikm, BytesView salt, BytesView info, size_t out_len);
+
+}  // namespace hcpp::hash

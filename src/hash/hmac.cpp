@@ -1,0 +1,46 @@
+#include "src/hash/hmac.h"
+
+#include <stdexcept>
+
+namespace hcpp::hash {
+
+Bytes hmac_sha256(BytesView key, BytesView message) {
+  Bytes k(kSha256BlockSize, 0);
+  if (key.size() > kSha256BlockSize) {
+    Digest d = sha256(key);
+    std::copy(d.begin(), d.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  Bytes ipad(kSha256BlockSize), opad(kSha256BlockSize);
+  for (size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  Digest inner_d = inner.finish();
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(BytesView(inner_d.data(), inner_d.size()));
+  Digest outer_d = outer.finish();
+  return Bytes(outer_d.begin(), outer_d.end());
+}
+
+Bytes hmac_sha256_trunc(BytesView key, BytesView message, size_t out_len) {
+  if (out_len > kSha256DigestSize) {
+    throw std::invalid_argument("hmac_sha256_trunc: out_len > 32");
+  }
+  Bytes tag = hmac_sha256(key, message);
+  tag.resize(out_len);
+  return tag;
+}
+
+bool hmac_verify(BytesView key, BytesView message, BytesView tag) {
+  Bytes expected = hmac_sha256(key, message);
+  expected.resize(std::min(expected.size(), tag.size()));
+  return tag.size() == expected.size() && ct_equal(expected, tag);
+}
+
+}  // namespace hcpp::hash

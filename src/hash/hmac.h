@@ -1,0 +1,19 @@
+// HMAC-SHA256 (RFC 2104). This is the paper's HMAC_ν message authenticator
+// and the round function for the HMAC-based PRFs/PRPs.
+#pragma once
+
+#include "src/common/bytes.h"
+#include "src/hash/sha256.h"
+
+namespace hcpp::hash {
+
+/// Full 32-byte HMAC-SHA256 tag.
+Bytes hmac_sha256(BytesView key, BytesView message);
+
+/// Truncated tag (`out_len` <= 32), as used by the PRF f in the SSE index.
+Bytes hmac_sha256_trunc(BytesView key, BytesView message, size_t out_len);
+
+/// Constant-time verification.
+bool hmac_verify(BytesView key, BytesView message, BytesView tag);
+
+}  // namespace hcpp::hash

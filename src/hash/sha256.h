@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Streaming and one-shot
+// interfaces; the one-shot form is what most of the crypto stack uses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace hcpp::hash {
+
+inline constexpr size_t kSha256DigestSize = 32;
+inline constexpr size_t kSha256BlockSize = 64;
+
+using Digest = std::array<uint8_t, kSha256DigestSize>;
+
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(BytesView data) noexcept;
+  /// Finalizes and returns the digest; the object must be reset() before
+  /// further use.
+  Digest finish() noexcept;
+
+ private:
+  void compress(const uint8_t* block) noexcept;
+
+  std::array<uint32_t, 8> state_{};
+  uint64_t total_len_ = 0;
+  std::array<uint8_t, kSha256BlockSize> buffer_{};
+  size_t buffer_len_ = 0;
+};
+
+/// One-shot digest.
+Digest sha256(BytesView data) noexcept;
+/// One-shot digest as a Bytes buffer (convenient for concat/xor pipelines).
+Bytes sha256_bytes(BytesView data);
+
+}  // namespace hcpp::hash

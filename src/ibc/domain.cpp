@@ -1,0 +1,66 @@
+#include "src/ibc/domain.h"
+
+#include "src/hash/hkdf.h"
+
+namespace hcpp::ibc {
+
+Domain::Domain(const curve::CurveCtx& ctx, RandomSource& rng)
+    : Domain(ctx, curve::random_scalar(ctx, rng)) {}
+
+Domain::Domain(const curve::CurveCtx& ctx, const mp::U512& master_secret)
+    : ctx_(&ctx), s0_(mp::mod(master_secret, ctx.q)) {
+  pub_.ctx = ctx_;
+  pub_.p_pub = curve::mul_generator(ctx, s0_);
+}
+
+curve::Point Domain::extract(std::string_view id) const {
+  return curve::mul(*ctx_, public_key(*ctx_, id), s0_);
+}
+
+curve::Point Domain::public_key(const curve::CurveCtx& ctx,
+                                std::string_view id) {
+  return curve::hash_to_point(ctx, to_bytes(id));
+}
+
+Domain::Pseudonym Domain::issue_pseudonym(RandomSource& rng) const {
+  mp::U512 t = curve::random_scalar(*ctx_, rng);
+  Pseudonym pn;
+  pn.tp = curve::mul_generator(*ctx_, t);
+  pn.gamma = curve::mul(*ctx_, pn.tp, s0_);
+  return pn;
+}
+
+Domain::Pseudonym rerandomize_pseudonym(const curve::CurveCtx& ctx,
+                                        const Domain::Pseudonym& base,
+                                        RandomSource& rng) {
+  mp::U512 r = curve::random_scalar(ctx, rng);
+  return {curve::mul(ctx, base.tp, r), curve::mul(ctx, base.gamma, r)};
+}
+
+bool pseudonym_valid(const PublicParams& pub, const Domain::Pseudonym& pn) {
+  const curve::CurveCtx& ctx = *pub.ctx;
+  curve::Gt lhs = curve::pairing(ctx, pn.tp, pub.p_pub);
+  curve::Gt rhs = curve::pairing(ctx, pn.gamma, curve::generator(ctx));
+  return lhs == rhs;
+}
+
+namespace {
+Bytes kdf_from_gt(const curve::Gt& g) {
+  return hash::hkdf(g.to_bytes(), {}, to_bytes("hcpp-shared-key"), 32);
+}
+}  // namespace
+
+Bytes shared_key_with_id(const curve::CurveCtx& ctx,
+                         const curve::Point& my_private,
+                         std::string_view peer_id) {
+  curve::Point peer_pk = Domain::public_key(ctx, peer_id);
+  return kdf_from_gt(curve::pairing(ctx, my_private, peer_pk));
+}
+
+Bytes shared_key_with_point(const curve::CurveCtx& ctx,
+                            const curve::Point& my_private,
+                            const curve::Point& peer_public) {
+  return kdf_from_gt(curve::pairing(ctx, my_private, peer_public));
+}
+
+}  // namespace hcpp::ibc

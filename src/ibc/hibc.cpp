@@ -1,0 +1,179 @@
+#include "src/ibc/hibc.h"
+
+#include <stdexcept>
+
+#include "src/common/serialize.h"
+#include "src/hash/hkdf.h"
+
+namespace hcpp::ibc {
+
+curve::Point path_point(const curve::CurveCtx& ctx,
+                        std::span<const std::string> path, size_t prefix_len) {
+  io::Writer w;
+  w.u32(static_cast<uint32_t>(prefix_len));
+  for (size_t i = 0; i < prefix_len; ++i) w.str(path[i]);
+  return curve::hash_to_point(ctx, w.data(), "hcpp-hibc-path");
+}
+
+HibcNode HibcNode::root(const curve::CurveCtx& ctx, RandomSource& rng) {
+  HibcNode n;
+  n.pub_.ctx = &ctx;
+  n.own_secret_ = curve::random_scalar(ctx, rng);
+  n.pub_.q0 = curve::mul_generator(ctx, n.own_secret_);
+  n.s_key_ = curve::Point::at_infinity();
+  return n;
+}
+
+HibcNode HibcNode::derive_child(std::string_view id, RandomSource& rng) const {
+  const curve::CurveCtx& ctx = *pub_.ctx;
+  HibcNode child;
+  child.pub_ = pub_;
+  child.path_ = path_;
+  child.path_.emplace_back(id);
+  curve::Point p_child = path_point(ctx, child.path_, child.path_.size());
+  // ψ_j = ψ_{j-1} + s_{j-1}·P_j
+  child.s_key_ =
+      curve::add(ctx, s_key_, curve::mul(ctx, p_child, own_secret_));
+  child.own_secret_ = curve::random_scalar(ctx, rng);
+  child.q_values_ = q_values_;
+  if (!path_.empty()) {
+    // This node is below the root, so its own Q joins the chain the child
+    // needs (the root's Q0 travels in HibcPublic instead).
+    child.q_values_.push_back(
+        curve::mul_generator(ctx, own_secret_));
+  }
+  return child;
+}
+
+namespace {
+Bytes kem_key(const curve::Gt& g) {
+  return hash::hkdf(g.to_bytes(), {}, to_bytes("hcpp-hibc-kem"), 32);
+}
+}  // namespace
+
+HibcCiphertext hibc_encrypt(const HibcPublic& pub,
+                            std::span<const std::string> id_path,
+                            BytesView plaintext, RandomSource& rng) {
+  if (id_path.empty()) {
+    throw std::invalid_argument("hibc_encrypt: empty identity path");
+  }
+  const curve::CurveCtx& ctx = *pub.ctx;
+  mp::U512 r = curve::random_scalar(ctx, rng);
+  HibcCiphertext ct;
+  ct.u0 = curve::mul_generator(ctx, r);
+  for (size_t i = 2; i <= id_path.size(); ++i) {
+    ct.u.push_back(curve::mul(ctx, path_point(ctx, id_path, i), r));
+  }
+  curve::Point p1 = path_point(ctx, id_path, 1);
+  curve::Gt g = curve::pairing(ctx, pub.q0, p1).pow(r);
+  Bytes key = kem_key(g);
+  ct.box = cipher::aead_encrypt(key, plaintext, {}, rng);
+  secure_wipe(key);
+  return ct;
+}
+
+Bytes hibc_decrypt(const HibcNode& node, const HibcCiphertext& ct) {
+  const curve::CurveCtx& ctx = node.ctx();
+  if (node.depth() == 0) {
+    throw std::invalid_argument("hibc_decrypt: root holds no identity key");
+  }
+  if (ct.u.size() + 1 != node.depth()) throw cipher::AuthError();
+  // g^r = ê(U0, S_t) · Π_{i=2..t} ê(Q_{i-1}, U_i)^{-1}
+  curve::Gt g = curve::pairing(ctx, ct.u0, node.secret_point());
+  for (size_t i = 0; i < ct.u.size(); ++i) {
+    g = g * curve::pairing(ctx, node.q_chain()[i], ct.u[i]).inv();
+  }
+  Bytes key = kem_key(g);
+  Bytes pt = cipher::aead_decrypt(key, ct.box, {});
+  secure_wipe(key);
+  return pt;
+}
+
+namespace {
+curve::Point message_point(const curve::CurveCtx& ctx,
+                           std::span<const std::string> path,
+                           BytesView message) {
+  io::Writer w;
+  w.u32(static_cast<uint32_t>(path.size()));
+  for (const std::string& id : path) w.str(id);
+  w.bytes(message);
+  return curve::hash_to_point(ctx, w.data(), "hcpp-hibc-msg");
+}
+}  // namespace
+
+HibcSignature hibc_sign(const HibcNode& node, BytesView message) {
+  const curve::CurveCtx& ctx = node.ctx();
+  if (node.depth() == 0) {
+    throw std::invalid_argument("hibc_sign: root holds no identity key");
+  }
+  curve::Point p_m = message_point(ctx, node.path(), message);
+  HibcSignature sig;
+  sig.sigma = curve::add(ctx, node.secret_point(),
+                         curve::mul(ctx, p_m, node.own_secret()));
+  sig.q_values = node.q_chain();
+  sig.q_values.push_back(
+      curve::mul_generator(ctx, node.own_secret()));
+  return sig;
+}
+
+bool hibc_verify(const HibcPublic& pub, std::span<const std::string> id_path,
+                 BytesView message, const HibcSignature& sig) {
+  const curve::CurveCtx& ctx = *pub.ctx;
+  if (id_path.empty() || sig.q_values.size() != id_path.size()) return false;
+  // ê(P, σ) == ê(Q0, P_1) · Π_{i=2..t} ê(Q_{i-1}, P_i) · ê(Q_t, P_M)
+  curve::Gt lhs = curve::pairing(ctx, curve::generator(ctx), sig.sigma);
+  curve::Gt rhs = curve::pairing(ctx, pub.q0, path_point(ctx, id_path, 1));
+  for (size_t i = 2; i <= id_path.size(); ++i) {
+    rhs = rhs * curve::pairing(ctx, sig.q_values[i - 2],
+                               path_point(ctx, id_path, i));
+  }
+  curve::Point p_m = message_point(ctx, id_path, message);
+  rhs = rhs * curve::pairing(ctx, sig.q_values.back(), p_m);
+  return lhs == rhs;
+}
+
+Bytes HibcCiphertext::to_bytes() const {
+  io::Writer w;
+  w.bytes(curve::point_to_bytes(u0));
+  w.u32(static_cast<uint32_t>(u.size()));
+  for (const curve::Point& pt : u) w.bytes(curve::point_to_bytes(pt));
+  w.bytes(box);
+  return w.take();
+}
+
+HibcCiphertext HibcCiphertext::from_bytes(const curve::CurveCtx& ctx,
+                                          BytesView b) {
+  io::Reader r(b);
+  HibcCiphertext ct;
+  ct.u0 = curve::point_from_bytes(ctx, r.bytes());
+  uint32_t n = r.u32();
+  for (uint32_t i = 0; i < n; ++i) {
+    ct.u.push_back(curve::point_from_bytes(ctx, r.bytes()));
+  }
+  ct.box = r.bytes();
+  return ct;
+}
+
+size_t HibcCiphertext::size() const { return to_bytes().size(); }
+
+Bytes HibcSignature::to_bytes() const {
+  io::Writer w;
+  w.bytes(curve::point_to_bytes(sigma));
+  w.u32(static_cast<uint32_t>(q_values.size()));
+  for (const curve::Point& pt : q_values) w.bytes(curve::point_to_bytes(pt));
+  return w.take();
+}
+
+HibcSignature HibcSignature::from_bytes(const curve::CurveCtx& ctx,
+                                        BytesView b) {
+  io::Reader r(b);
+  HibcSignature sig;
+  sig.sigma = curve::point_from_bytes(ctx, r.bytes());
+  uint32_t n = r.u32();
+  for (uint32_t i = 0; i < n; ++i) {
+    sig.q_values.push_back(curve::point_from_bytes(ctx, r.bytes()));
+  }
+  return sig;
+}
+
+}  // namespace hcpp::ibc

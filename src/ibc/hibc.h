@@ -1,0 +1,104 @@
+// Hierarchical IBC (§IV.A), after Gentry–Silverberg HIDE/HIDS. The federal
+// A-server is the root PKG; state A-servers sit at level 1; hospitals,
+// physicians and S-servers at level 2 of this implementation's numbering
+// (the paper counts from 1). Each node at depth t holds
+//     S_t = Σ_{i=1..t} s_{i-1}·P_i,   P_i = H1(ID_1‖…‖ID_i),
+// its own secret s_t, and its ancestors' published Q_i = s_i·P. This gives
+// cross-domain availability: a patient can run encrypted exchanges with any
+// S-server in the country knowing only the federal root parameters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/cipher/aead.h"
+#include "src/curve/pairing.h"
+
+namespace hcpp::ibc {
+
+struct HibcPublic {
+  const curve::CurveCtx* ctx = nullptr;
+  curve::Point q0;  // s_root · P
+};
+
+class HibcNode {
+ public:
+  /// Creates the root PKG (depth 0, empty identity path).
+  static HibcNode root(const curve::CurveCtx& ctx, RandomSource& rng);
+
+  /// Derives the child `id` one level below this node (§IV.A lower-level
+  /// setup: ψ_j = ψ_{j-1} + s_{j-1}·K_j plus the Q-value chain).
+  [[nodiscard]] HibcNode derive_child(std::string_view id,
+                                      RandomSource& rng) const;
+
+  [[nodiscard]] const std::vector<std::string>& path() const noexcept {
+    return path_;
+  }
+  [[nodiscard]] size_t depth() const noexcept { return path_.size(); }
+  /// Root-level public parameters (valid on any node — the chain carries
+  /// them down).
+  [[nodiscard]] const HibcPublic& public_params() const noexcept {
+    return pub_;
+  }
+  [[nodiscard]] const curve::CurveCtx& ctx() const noexcept {
+    return *pub_.ctx;
+  }
+
+  // Exposed for the encryption/signature free functions.
+  [[nodiscard]] const curve::Point& secret_point() const noexcept {
+    return s_key_;
+  }
+  [[nodiscard]] const std::vector<curve::Point>& q_chain() const noexcept {
+    return q_values_;
+  }
+  [[nodiscard]] const mp::U512& own_secret() const noexcept {
+    return own_secret_;
+  }
+
+ private:
+  HibcNode() = default;
+  HibcPublic pub_;
+  std::vector<std::string> path_;
+  curve::Point s_key_;                  // S_t (infinity at root)
+  mp::U512 own_secret_;                 // s_t
+  std::vector<curve::Point> q_values_;  // Q_1..Q_{t-1} (ancestors below root)
+};
+
+/// Canonical P_i chain hashing for an identity path prefix.
+curve::Point path_point(const curve::CurveCtx& ctx,
+                        std::span<const std::string> path, size_t prefix_len);
+
+struct HibcCiphertext {
+  curve::Point u0;              // r·P
+  std::vector<curve::Point> u;  // r·P_i, i = 2..t
+  Bytes box;
+
+  [[nodiscard]] Bytes to_bytes() const;
+  static HibcCiphertext from_bytes(const curve::CurveCtx& ctx, BytesView b);
+  [[nodiscard]] size_t size() const;
+};
+
+/// Encrypts to the entity with the given identity path (depth >= 1).
+HibcCiphertext hibc_encrypt(const HibcPublic& pub,
+                            std::span<const std::string> id_path,
+                            BytesView plaintext, RandomSource& rng);
+
+/// Decrypts at the named node; throws cipher::AuthError on failure.
+Bytes hibc_decrypt(const HibcNode& node, const HibcCiphertext& ct);
+
+/// Gentry–Silverberg hierarchical signature: σ = S_t + s_t·H1(path‖msg).
+/// Carries the signer's Q chain including its own Q_t.
+struct HibcSignature {
+  curve::Point sigma;
+  std::vector<curve::Point> q_values;  // Q_1..Q_t
+
+  [[nodiscard]] Bytes to_bytes() const;
+  static HibcSignature from_bytes(const curve::CurveCtx& ctx, BytesView b);
+};
+
+HibcSignature hibc_sign(const HibcNode& node, BytesView message);
+
+bool hibc_verify(const HibcPublic& pub, std::span<const std::string> id_path,
+                 BytesView message, const HibcSignature& sig);
+
+}  // namespace hcpp::ibc

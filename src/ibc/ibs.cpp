@@ -1,0 +1,75 @@
+#include "src/ibc/ibs.h"
+
+#include "src/common/serialize.h"
+
+namespace hcpp::ibc {
+
+namespace {
+mp::U512 challenge(const curve::CurveCtx& ctx, BytesView message,
+                   const curve::Gt& u) {
+  Bytes input = u.to_bytes();
+  append(input, message);
+  return curve::hash_to_scalar(ctx, input, "hcpp-ibs-h3");
+}
+}  // namespace
+
+IbsSignature ibs_sign(const curve::CurveCtx& ctx,
+                      const curve::Point& private_key, std::string_view id,
+                      BytesView message, RandomSource& rng) {
+  curve::Point q_id = Domain::public_key(ctx, id);
+  mp::U512 k = curve::random_scalar(ctx, rng);
+  curve::Gt u = curve::pairing(ctx, q_id, curve::generator(ctx)).pow(k);
+  IbsSignature sig;
+  sig.v = challenge(ctx, message, u);
+  // W = v·Γ + k·H1(ID)
+  sig.w = curve::add(ctx, curve::mul(ctx, private_key, sig.v),
+                     curve::mul(ctx, q_id, k));
+  return sig;
+}
+
+bool ibs_verify(const PublicParams& pub, std::string_view id,
+                BytesView message, const IbsSignature& sig) {
+  const curve::CurveCtx& ctx = *pub.ctx;
+  if (sig.w.infinity || sig.v.is_zero() || !(sig.v < ctx.q)) return false;
+  curve::Point q_id = Domain::public_key(ctx, id);
+  // u' = ê(W, P) · ê(H1(ID), Ppub)^{-v}
+  curve::Gt e1 = curve::pairing(ctx, sig.w, curve::generator(ctx));
+  mp::U512 neg_v = mp::sub_mod(mp::U512{}, sig.v, ctx.q);
+  curve::Gt e2 = curve::pairing(ctx, q_id, pub.p_pub).pow(neg_v);
+  curve::Gt u = e1 * e2;
+  return challenge(ctx, message, u) == sig.v;
+}
+
+IbsVerifier::IbsVerifier(const PublicParams& pub, std::string_view id)
+    : ctx_(pub.ctx),
+      id_(id),
+      q_id_(Domain::public_key(*pub.ctx, id)),
+      g_id_(curve::pairing(*pub.ctx, q_id_, pub.p_pub)) {}
+
+bool IbsVerifier::verify(BytesView message, const IbsSignature& sig) const {
+  if (sig.w.infinity || sig.v.is_zero() || !(sig.v < ctx_->q)) return false;
+  curve::Gt e1 = curve::pairing(*ctx_, sig.w, curve::generator(*ctx_));
+  mp::U512 neg_v = mp::sub_mod(mp::U512{}, sig.v, ctx_->q);
+  curve::Gt u = e1 * g_id_.pow(neg_v);
+  return challenge(*ctx_, message, u) == sig.v;
+}
+
+Bytes IbsSignature::to_bytes() const {
+  io::Writer wr;
+  wr.raw(v.to_bytes_be());
+  wr.bytes(curve::point_to_bytes(w));
+  return wr.take();
+}
+
+IbsSignature IbsSignature::from_bytes(const curve::CurveCtx& ctx,
+                                      BytesView b) {
+  io::Reader r(b);
+  IbsSignature sig;
+  sig.v = mp::U512::from_bytes_be(r.raw(64));
+  sig.w = curve::point_from_bytes(ctx, r.bytes());
+  return sig;
+}
+
+size_t IbsSignature::size() const { return to_bytes().size(); }
+
+}  // namespace hcpp::ibc

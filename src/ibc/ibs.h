@@ -1,0 +1,49 @@
+// Hess identity-based signatures ([28], SAC 2002) — the paper's IBS used by
+// physicians to authenticate to the A-server and by the A-server to sign
+// passcode deliveries and accountability traces.
+//
+//   Sign (private key Γ = s0·H1(ID)):
+//     k ∈R Zq*,  u = ê(H1(ID), P)^k,  v = H3(m ‖ u),  W = v·Γ + k·H1(ID)
+//     signature = (v, W)
+//   Verify:
+//     u' = ê(W, P) · ê(H1(ID), Ppub)^{−v},  accept iff H3(m ‖ u') == v
+#pragma once
+
+#include "src/ibc/domain.h"
+
+namespace hcpp::ibc {
+
+struct IbsSignature {
+  mp::U512 v;      // scalar challenge
+  curve::Point w;  // response point
+
+  [[nodiscard]] Bytes to_bytes() const;
+  static IbsSignature from_bytes(const curve::CurveCtx& ctx, BytesView b);
+  [[nodiscard]] size_t size() const;
+};
+
+IbsSignature ibs_sign(const curve::CurveCtx& ctx,
+                      const curve::Point& private_key, std::string_view id,
+                      BytesView message, RandomSource& rng);
+
+bool ibs_verify(const PublicParams& pub, std::string_view id,
+                BytesView message, const IbsSignature& sig);
+
+/// Precomputed verification context for a fixed signer identity: hoists
+/// ê(H1(ID), Ppub) so each verification costs a single pairing — the
+/// "two pairings with precomputation" budget §V.B.3 assigns to the P-device
+/// (one here plus one IBE decryption).
+class IbsVerifier {
+ public:
+  IbsVerifier(const PublicParams& pub, std::string_view id);
+
+  [[nodiscard]] bool verify(BytesView message, const IbsSignature& sig) const;
+
+ private:
+  const curve::CurveCtx* ctx_;
+  std::string id_;
+  curve::Point q_id_;
+  curve::Gt g_id_;  // ê(H1(ID), Ppub)
+};
+
+}  // namespace hcpp::ibc

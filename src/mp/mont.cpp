@@ -1,0 +1,104 @@
+#include "src/mp/mont.h"
+
+#include <stdexcept>
+
+namespace hcpp::mp {
+
+using uint128 = unsigned __int128;
+
+namespace {
+// -m^{-1} mod 2^64 via Newton iteration (m odd).
+uint64_t neg_inv64(uint64_t m) noexcept {
+  uint64_t x = m;  // 3-bit-correct seed: m * m ≡ 1 (mod 8) for odd m
+  for (int i = 0; i < 5; ++i) x *= 2 - m * x;  // doubles correct bits
+  return ~x + 1;  // -(m^{-1})
+}
+}  // namespace
+
+MontCtx::MontCtx(const U512& modulus) : m_(modulus) {
+  if (!m_.is_odd() || m_.bit_length() < 2) {
+    throw std::invalid_argument("MontCtx: modulus must be odd and > 2");
+  }
+  n0inv_ = neg_inv64(m_.w[0]);
+  // R mod m: R = 2^512. Compute by reducing 2^512 - m*k ... simplest: take
+  // (2^512 - 1) mod m then add 1 (mod m).
+  U512 all_ones;
+  all_ones.w.fill(~0ull);
+  U512 r_minus1 = mod(all_ones, m_);
+  one_ = add_mod(r_minus1, U512::from_u64(1), m_);
+  // R^2 mod m by repeated doubling of R mod m, 512 times.
+  U512 r2 = one_;
+  for (size_t i = 0; i < kBits; ++i) r2 = add_mod(r2, r2, m_);
+  r2_ = r2;
+  r3_ = mul(r2_, r2_);  // R^2·R^2·R^{-1} = R^3
+}
+
+U512 MontCtx::to_mont(const U512& a) const { return mul(a, r2_); }
+
+U512 MontCtx::from_mont(const U512& a) const noexcept {
+  return mul(a, U512::from_u64(1));
+}
+
+U512 MontCtx::mul(const U512& a, const U512& b) const noexcept {
+  // CIOS (coarsely integrated operand scanning), N = 8 limbs.
+  uint64_t t[kLimbs + 2] = {0};
+  for (size_t i = 0; i < kLimbs; ++i) {
+    // t += a.w[i] * b
+    uint64_t carry = 0;
+    for (size_t j = 0; j < kLimbs; ++j) {
+      uint128 cur = static_cast<uint128>(a.w[i]) * b.w[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    uint128 s = static_cast<uint128>(t[kLimbs]) + carry;
+    t[kLimbs] = static_cast<uint64_t>(s);
+    t[kLimbs + 1] = static_cast<uint64_t>(s >> 64);
+    // Reduce: u = t[0] * n0inv mod 2^64; t += u*m; t >>= 64
+    uint64_t u = t[0] * n0inv_;
+    uint128 cur = static_cast<uint128>(u) * m_.w[0] + t[0];
+    carry = static_cast<uint64_t>(cur >> 64);
+    for (size_t j = 1; j < kLimbs; ++j) {
+      cur = static_cast<uint128>(u) * m_.w[j] + t[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    s = static_cast<uint128>(t[kLimbs]) + carry;
+    t[kLimbs - 1] = static_cast<uint64_t>(s);
+    t[kLimbs] = t[kLimbs + 1] + static_cast<uint64_t>(s >> 64);
+  }
+  U512 r;
+  for (size_t i = 0; i < kLimbs; ++i) r.w[i] = t[i];
+  if (t[kLimbs] != 0 || !(r < m_)) {
+    U512 tmp;
+    mp::sub(tmp, r, m_);
+    r = tmp;
+  }
+  return r;
+}
+
+U512 MontCtx::add(const U512& a, const U512& b) const noexcept {
+  return add_mod(a, b, m_);
+}
+
+U512 MontCtx::sub(const U512& a, const U512& b) const noexcept {
+  return sub_mod(a, b, m_);
+}
+
+U512 MontCtx::pow(const U512& base, const U512& exp) const noexcept {
+  U512 result = one_;
+  size_t nbits = exp.bit_length();
+  for (size_t i = nbits; i-- > 0;) {
+    result = sqr(result);
+    if (exp.bit(i)) result = mul(result, base);
+  }
+  return result;
+}
+
+U512 MontCtx::inv(const U512& a) const {
+  // a is xR; inv_mod gives (xR)^{-1} = x^{-1}R^{-1}; multiply by R^3 with one
+  // Montgomery product to land on x^{-1}R.
+  U512 plain_inv = inv_mod(a, m_);
+  return mul(plain_inv, r3_);
+}
+
+}  // namespace hcpp::mp

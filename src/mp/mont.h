@@ -1,0 +1,44 @@
+// Montgomery modular arithmetic context (CIOS multiplication) for a fixed odd
+// modulus. Every hot multiplication in the field/curve/pairing stack runs
+// through this context; R = 2^512 regardless of the modulus width so the code
+// paths stay uniform across the 256-bit test and 512-bit production sets.
+#pragma once
+
+#include "src/mp/u512.h"
+
+namespace hcpp::mp {
+
+class MontCtx {
+ public:
+  /// `modulus` must be odd and > 2 (throws std::invalid_argument otherwise).
+  explicit MontCtx(const U512& modulus);
+
+  [[nodiscard]] const U512& modulus() const noexcept { return m_; }
+  /// R mod m, the Montgomery representation of 1.
+  [[nodiscard]] const U512& one() const noexcept { return one_; }
+
+  /// a (plain) -> aR mod m.
+  [[nodiscard]] U512 to_mont(const U512& a) const;
+  /// aR -> a.
+  [[nodiscard]] U512 from_mont(const U512& a) const noexcept;
+
+  /// Montgomery product: (aR)(bR)R^{-1} = abR.
+  [[nodiscard]] U512 mul(const U512& a, const U512& b) const noexcept;
+  [[nodiscard]] U512 sqr(const U512& a) const noexcept { return mul(a, a); }
+  /// Modular add/sub on Montgomery (or plain) residues.
+  [[nodiscard]] U512 add(const U512& a, const U512& b) const noexcept;
+  [[nodiscard]] U512 sub(const U512& a, const U512& b) const noexcept;
+  /// (base in Montgomery form)^exp, result in Montgomery form. `exp` plain.
+  [[nodiscard]] U512 pow(const U512& base, const U512& exp) const noexcept;
+  /// Inverse of a Montgomery residue, in Montgomery form.
+  [[nodiscard]] U512 inv(const U512& a) const;
+
+ private:
+  U512 m_;
+  uint64_t n0inv_ = 0;  // -m^{-1} mod 2^64
+  U512 r2_;             // R^2 mod m
+  U512 r3_;             // R^3 mod m
+  U512 one_;            // R mod m
+};
+
+}  // namespace hcpp::mp

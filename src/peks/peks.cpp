@@ -1,0 +1,129 @@
+#include "src/peks/peks.h"
+
+#include <stdexcept>
+
+#include "src/common/serialize.h"
+#include "src/hash/hkdf.h"
+#include "src/hash/sha256.h"
+
+namespace hcpp::peks {
+
+namespace {
+
+constexpr size_t kTagLen = 32;
+
+Bytes h3(const curve::Gt& g) {
+  return hash::hkdf(g.to_bytes(), {}, to_bytes("hcpp-peks-h3"), kTagLen);
+}
+
+mp::U512 keyword_scalar(const curve::CurveCtx& ctx, std::string_view kw) {
+  return curve::hash_to_scalar(ctx, to_bytes(kw), "hcpp-peks-h2");
+}
+
+// Folds a keyword set into one scalar, order-independently.
+mp::U512 keyword_set_scalar(const curve::CurveCtx& ctx,
+                            std::span<const std::string> keywords) {
+  if (keywords.empty()) {
+    throw std::invalid_argument("peks: empty keyword set");
+  }
+  mp::U512 h;  // zero
+  for (const std::string& kw : keywords) {
+    h = mp::add_mod(h, keyword_scalar(ctx, kw), ctx.q);
+  }
+  if (h.is_zero()) h = mp::U512::from_u64(1);  // vanishing sums are degenerate
+  return h;
+}
+
+PeksCiphertext encrypt_with_scalar(const ibc::PublicParams& pub,
+                                   std::string_view role_id, const mp::U512& h,
+                                   RandomSource& rng, Variant variant) {
+  const curve::CurveCtx& ctx = *pub.ctx;
+  mp::U512 sigma = curve::random_scalar(ctx, rng);
+  curve::Point pk_r = ibc::Domain::public_key(ctx, role_id);
+  PeksCiphertext ct;
+  ct.variant = variant;
+  ct.a = curve::mul_generator(ctx, sigma);
+  curve::Gt g = curve::pairing(ctx, pk_r, pub.p_pub)
+                    .pow(mp::mul_mod(sigma, h, ctx.q));
+  if (variant == Variant::kBdop) {
+    ct.b = h3(g);
+  } else {
+    Bytes r_val = rng.bytes(kTagLen);
+    ct.b = xor_bytes(r_val, h3(g));
+    ct.check = hash::sha256_bytes(r_val);
+  }
+  return ct;
+}
+
+}  // namespace
+
+PeksCiphertext peks_encrypt(const ibc::PublicParams& pub,
+                            std::string_view role_id, std::string_view kw,
+                            RandomSource& rng, Variant variant) {
+  return encrypt_with_scalar(pub, role_id, keyword_scalar(*pub.ctx, kw), rng,
+                             variant);
+}
+
+Trapdoor peks_trapdoor(const curve::CurveCtx& ctx,
+                       const curve::Point& role_private, std::string_view kw) {
+  return Trapdoor{curve::mul(ctx, role_private, keyword_scalar(ctx, kw))};
+}
+
+PeksCiphertext peks_encrypt_set(const ibc::PublicParams& pub,
+                                std::string_view role_id,
+                                std::span<const std::string> keywords,
+                                RandomSource& rng, Variant variant) {
+  return encrypt_with_scalar(pub, role_id,
+                             keyword_set_scalar(*pub.ctx, keywords), rng,
+                             variant);
+}
+
+Trapdoor peks_trapdoor_set(const curve::CurveCtx& ctx,
+                           const curve::Point& role_private,
+                           std::span<const std::string> keywords) {
+  return Trapdoor{
+      curve::mul(ctx, role_private, keyword_set_scalar(ctx, keywords))};
+}
+
+bool peks_test(const curve::CurveCtx& ctx, const PeksCiphertext& ct,
+               const Trapdoor& td) {
+  Bytes mask = h3(curve::pairing(ctx, td.td, ct.a));
+  if (ct.variant == Variant::kBdop) {
+    return ct_equal(mask, ct.b);
+  }
+  if (ct.b.size() != mask.size()) return false;
+  Bytes r_val = xor_bytes(ct.b, mask);
+  return ct_equal(hash::sha256_bytes(r_val), ct.check);
+}
+
+Bytes PeksCiphertext::to_bytes() const {
+  io::Writer w;
+  w.u8(static_cast<uint8_t>(variant));
+  w.bytes(curve::point_to_bytes(a));
+  w.bytes(b);
+  w.bytes(check);
+  return w.take();
+}
+
+PeksCiphertext PeksCiphertext::from_bytes(const curve::CurveCtx& ctx,
+                                          BytesView data) {
+  io::Reader r(data);
+  PeksCiphertext ct;
+  uint8_t v = r.u8();
+  if (v > 1) throw std::invalid_argument("PeksCiphertext: bad variant");
+  ct.variant = static_cast<Variant>(v);
+  ct.a = curve::point_from_bytes(ctx, r.bytes());
+  ct.b = r.bytes();
+  ct.check = r.bytes();
+  return ct;
+}
+
+size_t PeksCiphertext::size() const { return to_bytes().size(); }
+
+Bytes Trapdoor::to_bytes() const { return curve::point_to_bytes(td); }
+
+Trapdoor Trapdoor::from_bytes(const curve::CurveCtx& ctx, BytesView b) {
+  return Trapdoor{curve::point_from_bytes(ctx, b)};
+}
+
+}  // namespace hcpp::peks

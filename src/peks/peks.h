@@ -1,0 +1,80 @@
+// Public-key encryption with keyword search (§II.C, §IV.E), the BDOP
+// construction specialised to HCPP's identity-based emergency setting.
+//
+// The paper writes the trapdoor as TDr(kw) = Γr · H2(kw) with both factors
+// in G1, which is ill-typed; we implement the evident intent by hashing the
+// keyword to a scalar h = H2'(kw) ∈ Zq* (see DESIGN.md):
+//
+//   PEKS_σ(IDr, kw) = (A = σ·P,  B = H3(ê(PK_r, Ppub)^{σ·h}))
+//   TDr(kw)         = h · Γr                      (Γr = s0·H1(IDr))
+//   Test(A, B, TD)  = [ H3(ê(TD, A)) == B ]
+//
+// since ê(h·s0·PK_r, σ·P) = ê(PK_r, Ppub)^{σ·h}. Consistency and security
+// follow from BDH exactly as in BDOP. An Abdalla-style randomized variant
+// (encrypting a random R instead of a fixed tag, §II.C's consistency fix)
+// is provided as SearchableTag::kRandomized.
+#pragma once
+
+#include "src/ibc/domain.h"
+
+namespace hcpp::peks {
+
+enum class Variant : uint8_t {
+  kBdop = 0,        // B = H3(g^{σh}) — the construction of [18]
+  kRandomized = 1,  // [20]: additionally binds a random R for consistency
+};
+
+struct PeksCiphertext {
+  Variant variant = Variant::kBdop;
+  curve::Point a;  // σ·P
+  Bytes b;         // H3(...) tag (kBdop) or R ⊕ KDF(...) (kRandomized)
+  Bytes check;     // H(R) for kRandomized, empty otherwise
+
+  [[nodiscard]] Bytes to_bytes() const;
+  static PeksCiphertext from_bytes(const curve::CurveCtx& ctx, BytesView b);
+  [[nodiscard]] size_t size() const;
+};
+
+/// Trapdoor TD = H2'(kw) · Γr (computable by anyone holding the role key).
+struct Trapdoor {
+  curve::Point td;
+
+  [[nodiscard]] Bytes to_bytes() const;
+  static Trapdoor from_bytes(const curve::CurveCtx& ctx, BytesView b);
+};
+
+/// Produces a searchable tag for keyword `kw` addressed to role identity
+/// `role_id` (e.g. "2011-04-12|emergency|gainesville").
+PeksCiphertext peks_encrypt(const ibc::PublicParams& pub,
+                            std::string_view role_id, std::string_view kw,
+                            RandomSource& rng,
+                            Variant variant = Variant::kBdop);
+
+/// Trapdoor computed by the physician from the extracted role key Γr.
+Trapdoor peks_trapdoor(const curve::CurveCtx& ctx,
+                       const curve::Point& role_private, std::string_view kw);
+
+/// Server-side test — learns only whether the keyword matches.
+bool peks_test(const curve::CurveCtx& ctx, const PeksCiphertext& ct,
+               const Trapdoor& td);
+
+// ---- Conjunctive multi-keyword extension ----------------------------------
+// §IV.E: "The single keyword PEKS shown above can be easily extended to
+// enable multiple-keyword search [29]". Keyword sets are folded into one
+// scalar h = Σ_i H2'(kw_i) mod q; the tag/trapdoor algebra is unchanged, so
+// a trapdoor matches exactly the ciphertexts produced for the same keyword
+// *set* (order-independent).
+
+/// Tag for a keyword set under `role_id`.
+PeksCiphertext peks_encrypt_set(const ibc::PublicParams& pub,
+                                std::string_view role_id,
+                                std::span<const std::string> keywords,
+                                RandomSource& rng,
+                                Variant variant = Variant::kBdop);
+
+/// Trapdoor for a keyword set.
+Trapdoor peks_trapdoor_set(const curve::CurveCtx& ctx,
+                           const curve::Point& role_private,
+                           std::span<const std::string> keywords);
+
+}  // namespace hcpp::peks

@@ -1,0 +1,140 @@
+#include "src/prf/feistel.h"
+
+#include <stdexcept>
+
+#include "src/hash/hmac.h"
+
+namespace hcpp::prf {
+
+FeistelPrp::FeistelPrp(Bytes key, size_t width_bytes)
+    : key_(std::move(key)), width_(width_bytes) {
+  if (width_ < 2) {
+    throw std::invalid_argument("FeistelPrp: width must be >= 2 bytes");
+  }
+}
+
+Bytes FeistelPrp::round_value(int round, BytesView half,
+                              size_t out_len) const {
+  Bytes msg;
+  msg.push_back(static_cast<uint8_t>(round));
+  append(msg, half);
+  Bytes full = hash::hmac_sha256(key_, msg);
+  // Widths beyond 32 bytes are rare here (trapdoors are small), but stay
+  // correct anyway by chaining.
+  while (full.size() < out_len) {
+    Bytes more = hash::hmac_sha256(key_, full);
+    append(full, more);
+  }
+  full.resize(out_len);
+  return full;
+}
+
+Bytes FeistelPrp::forward(BytesView in) const {
+  if (in.size() != width_) {
+    throw std::invalid_argument("FeistelPrp::forward: width mismatch");
+  }
+  size_t l = width_ / 2;
+  Bytes left(in.begin(), in.begin() + static_cast<ptrdiff_t>(l));
+  Bytes right(in.begin() + static_cast<ptrdiff_t>(l), in.end());
+  for (int round = 0; round < kRounds; ++round) {
+    Bytes f = round_value(round, right, left.size());
+    for (size_t i = 0; i < left.size(); ++i) left[i] ^= f[i];
+    std::swap(left, right);
+  }
+  // kRounds is even, so halves are back in their original positions.
+  Bytes out = left;
+  append(out, right);
+  return out;
+}
+
+Bytes FeistelPrp::inverse(BytesView in) const {
+  if (in.size() != width_) {
+    throw std::invalid_argument("FeistelPrp::inverse: width mismatch");
+  }
+  size_t l = width_ / 2;
+  Bytes left(in.begin(), in.begin() + static_cast<ptrdiff_t>(l));
+  Bytes right(in.begin() + static_cast<ptrdiff_t>(l), in.end());
+  for (int round = kRounds - 1; round >= 0; --round) {
+    std::swap(left, right);
+    Bytes f = round_value(round, right, left.size());
+    for (size_t i = 0; i < left.size(); ++i) left[i] ^= f[i];
+  }
+  Bytes out = left;
+  append(out, right);
+  return out;
+}
+
+namespace {
+// Smallest even bit count b with 2^b >= n (balanced Feistel halves).
+int even_bit_width(uint64_t n) noexcept {
+  int b = 2;
+  while (b < 62 && (1ull << b) < n) b += 2;
+  return b;
+}
+}  // namespace
+
+SmallDomainPrp::SmallDomainPrp(Bytes key, uint64_t domain_size)
+    : key_(std::move(key)), n_(domain_size) {
+  if (n_ < 2) {
+    throw std::invalid_argument("SmallDomainPrp: domain must be >= 2");
+  }
+  bits_ = even_bit_width(n_);
+  left_bits_ = bits_ / 2;
+}
+
+namespace {
+uint64_t feistel_f(const Bytes& key, int round, uint64_t right,
+                   int out_bits) {
+  uint8_t msg[9];
+  msg[0] = static_cast<uint8_t>(round);
+  for (int i = 0; i < 8; ++i) msg[1 + i] = static_cast<uint8_t>(right >> (8 * i));
+  Bytes f = hash::hmac_sha256_trunc(key, BytesView(msg, 9), 8);
+  uint64_t fv = 0;
+  for (int i = 0; i < 8; ++i) fv |= static_cast<uint64_t>(f[i]) << (8 * i);
+  return fv & ((1ull << out_bits) - 1);
+}
+}  // namespace
+
+uint64_t SmallDomainPrp::round_once(uint64_t x) const {
+  const int hb = left_bits_;
+  const uint64_t mask = (1ull << hb) - 1;
+  uint64_t left = x >> hb;
+  uint64_t right = x & mask;
+  for (int round = 0; round < kRounds; ++round) {
+    uint64_t new_left = right;
+    uint64_t new_right = left ^ feistel_f(key_, round, right, hb);
+    left = new_left;
+    right = new_right;
+  }
+  return (left << hb) | right;
+}
+
+uint64_t SmallDomainPrp::unround_once(uint64_t y) const {
+  const int hb = left_bits_;
+  const uint64_t mask = (1ull << hb) - 1;
+  uint64_t left = y >> hb;
+  uint64_t right = y & mask;
+  for (int round = kRounds - 1; round >= 0; --round) {
+    uint64_t prev_right = left;
+    uint64_t prev_left = right ^ feistel_f(key_, round, prev_right, hb);
+    left = prev_left;
+    right = prev_right;
+  }
+  return (left << hb) | right;
+}
+
+uint64_t SmallDomainPrp::forward(uint64_t x) const {
+  if (x >= n_) throw std::out_of_range("SmallDomainPrp::forward");
+  uint64_t y = round_once(x);
+  while (y >= n_) y = round_once(y);  // cycle walking
+  return y;
+}
+
+uint64_t SmallDomainPrp::inverse(uint64_t y) const {
+  if (y >= n_) throw std::out_of_range("SmallDomainPrp::inverse");
+  uint64_t x = unround_once(y);
+  while (x >= n_) x = unround_once(x);
+  return x;
+}
+
+}  // namespace hcpp::prf

@@ -1,0 +1,23 @@
+// Pseudo-random function family (§II.B): keyed HMAC-SHA256 with arbitrary
+// output width via HKDF expansion. This realises the paper's PRF f used in
+// the SSE lookup table.
+#pragma once
+
+#include "src/common/bytes.h"
+
+namespace hcpp::prf {
+
+class Prf {
+ public:
+  explicit Prf(Bytes key) : key_(std::move(key)) {}
+
+  /// f_key(x), `out_len` bytes.
+  [[nodiscard]] Bytes eval(BytesView x, size_t out_len) const;
+
+  [[nodiscard]] const Bytes& key() const noexcept { return key_; }
+
+ private:
+  Bytes key_;
+};
+
+}  // namespace hcpp::prf

@@ -1,0 +1,21 @@
+// Simulated monotonic clock. All protocol timestamps (the paper's t1…t14)
+// come from here, which makes replay-window tests deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace hcpp::sim {
+
+class Clock {
+ public:
+  /// Current simulated time in nanoseconds.
+  [[nodiscard]] uint64_t now() const noexcept { return now_ns_; }
+
+  void advance(uint64_t delta_ns) noexcept { now_ns_ += delta_ns; }
+  void set(uint64_t t_ns) noexcept { now_ns_ = t_ns; }
+
+ private:
+  uint64_t now_ns_ = 1'000'000'000;  // start at t = 1 s, not 0
+};
+
+}  // namespace hcpp::sim

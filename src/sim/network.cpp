@@ -1,0 +1,48 @@
+#include "src/sim/network.h"
+
+namespace hcpp::sim {
+
+void Network::set_link(const std::string& from, const std::string& to,
+                       LinkModel model) {
+  links_[{from, to}] = model;
+}
+
+void Network::transmit(const std::string& from, const std::string& to,
+                       size_t bytes, const std::string& protocol) {
+  LinkModel model = default_link_;
+  auto it = links_.find({from, to});
+  if (it != links_.end()) model = it->second;
+  uint64_t latency =
+      model.base_latency_ns +
+      static_cast<uint64_t>(model.per_byte_ns * static_cast<double>(bytes));
+  clock_.advance(latency);
+  TrafficStats& ps = per_protocol_[protocol];
+  ps.messages += 1;
+  ps.bytes += bytes;
+  total_.messages += 1;
+  total_.bytes += bytes;
+}
+
+TrafficStats Network::stats(const std::string& protocol) const {
+  auto it = per_protocol_.find(protocol);
+  return it == per_protocol_.end() ? TrafficStats{} : it->second;
+}
+
+void Network::reset_stats() {
+  per_protocol_.clear();
+  total_ = TrafficStats{};
+}
+
+bool Network::accept_fresh(const std::string& receiver, BytesView tag,
+                           uint64_t timestamp_ns, uint64_t window_ns) {
+  uint64_t now = clock_.now();
+  uint64_t lo = (now > window_ns) ? now - window_ns : 0;
+  uint64_t hi = now + window_ns;
+  if (timestamp_ns < lo || timestamp_ns > hi) return false;
+  Bytes key(tag.begin(), tag.end());
+  auto [it, inserted] = replay_seen_[receiver].insert(std::move(key));
+  (void)it;
+  return inserted;
+}
+
+}  // namespace hcpp::sim

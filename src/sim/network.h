@@ -1,0 +1,68 @@
+// Deterministic network substrate. The paper deploys HCPP over existing
+// wireless infrastructure (cell phones, hospital LANs); we substitute an
+// in-process simulator that charges each message its serialized size and a
+// configurable latency, and keeps per-protocol round/byte counters — the
+// quantities §V.B.2 analyses.
+//
+// It also provides the two receiver-side guards every HCPP message needs:
+// a freshness window for the timestamps t1…t14 and a replay cache keyed by
+// message MAC (§IV.B cites [26] for replay prevention).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/sim/clock.h"
+
+namespace hcpp::sim {
+
+struct TrafficStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+};
+
+struct LinkModel {
+  uint64_t base_latency_ns = 5'000'000;  // 5 ms
+  double per_byte_ns = 80.0;             // ~100 Mbit/s
+};
+
+class Network {
+ public:
+  Network() = default;
+
+  Clock& clock() noexcept { return clock_; }
+  const Clock& clock() const noexcept { return clock_; }
+
+  /// Configures the link model for a (from, to) pair; falls back to the
+  /// default model for unconfigured links.
+  void set_link(const std::string& from, const std::string& to,
+                LinkModel model);
+  void set_default_link(LinkModel model) noexcept { default_link_ = model; }
+
+  /// Charges one message: advances the clock by the link latency and
+  /// accumulates per-protocol statistics.
+  void transmit(const std::string& from, const std::string& to, size_t bytes,
+                const std::string& protocol);
+
+  [[nodiscard]] TrafficStats stats(const std::string& protocol) const;
+  [[nodiscard]] TrafficStats total() const noexcept { return total_; }
+  void reset_stats();
+
+  /// Receiver-side freshness + replay guard: returns true (and records the
+  /// tag) iff `timestamp` is within ±window of now and the tag is new for
+  /// this receiver.
+  bool accept_fresh(const std::string& receiver, BytesView tag,
+                    uint64_t timestamp_ns, uint64_t window_ns);
+
+ private:
+  Clock clock_;
+  LinkModel default_link_;
+  std::map<std::pair<std::string, std::string>, LinkModel> links_;
+  std::map<std::string, TrafficStats> per_protocol_;
+  TrafficStats total_;
+  std::map<std::string, std::set<Bytes>> replay_seen_;
+};
+
+}  // namespace hcpp::sim

@@ -1,0 +1,96 @@
+#include "src/sim/onion.h"
+
+#include <stdexcept>
+
+#include "src/cipher/aead.h"
+#include "src/common/serialize.h"
+
+namespace hcpp::sim {
+
+OnionNetwork::OnionNetwork(Network& net, const ibc::Domain& domain,
+                           size_t n_relays)
+    : net_(&net), ctx_(&domain.ctx()), pub_(domain.pub()) {
+  if (n_relays == 0) {
+    throw std::invalid_argument("OnionNetwork: need at least one relay");
+  }
+  relays_.reserve(n_relays);
+  for (size_t i = 0; i < n_relays; ++i) {
+    std::string name = "relay-" + std::to_string(i);
+    relays_.push_back({name, domain.extract(name)});
+    observations_.push_back({name, {}});
+  }
+}
+
+void OnionNetwork::clear_observations() {
+  for (RelayObservation& obs : observations_) obs.forwarded.clear();
+  last_origin_seen_.clear();
+}
+
+Bytes OnionNetwork::round_trip(const std::string& src, const std::string& dst,
+                               BytesView request,
+                               const std::function<Bytes(BytesView)>& service,
+                               RandomSource& rng, size_t hops) {
+  if (hops == 0 || hops > relays_.size()) {
+    throw std::invalid_argument("OnionNetwork: bad hop count");
+  }
+  // Pick a fresh circuit: a random selection of distinct relays.
+  std::vector<size_t> circuit;
+  while (circuit.size() < hops) {
+    size_t pick = static_cast<size_t>(rng.u64() % relays_.size());
+    bool dup = false;
+    for (size_t existing : circuit) dup |= (existing == pick);
+    if (!dup) circuit.push_back(pick);
+  }
+  // Hop keys and layered request: innermost layer is the plain request; the
+  // layer for relay i carries (hop key header via IBE, next hop name,
+  // payload AEAD-encrypted under the hop key).
+  std::vector<Bytes> hop_keys(hops);
+  for (Bytes& k : hop_keys) k = rng.bytes(32);
+  Bytes onion(request.begin(), request.end());
+  for (size_t i = hops; i-- > 0;) {
+    const Relay& relay = relays_[circuit[i]];
+    std::string next = (i + 1 == hops) ? dst : relays_[circuit[i + 1]].name;
+    io::Writer layer;
+    ibc::IbeCiphertext header =
+        ibc::ibe_encrypt(pub_, relay.name, hop_keys[i], rng);
+    layer.bytes(header.to_bytes());
+    layer.str(next);
+    layer.bytes(cipher::aead_encrypt(hop_keys[i], onion, {}, rng));
+    onion = layer.take();
+  }
+  // Forward path.
+  std::string prev = src;
+  for (size_t i = 0; i < hops; ++i) {
+    const Relay& relay = relays_[circuit[i]];
+    net_->transmit(prev, relay.name, onion.size(), "onion");
+    io::Reader r(onion);
+    ibc::IbeCiphertext header =
+        ibc::IbeCiphertext::from_bytes(*ctx_, r.bytes());
+    Bytes hop_key = ibc::ibe_decrypt(*ctx_, relay.private_key, header);
+    std::string next = r.str();
+    onion = cipher::aead_decrypt(hop_key, r.bytes(), {});
+    observations_[circuit[i]].forwarded.emplace_back(prev, next);
+    prev = relay.name;
+  }
+  // Exit relay delivers to the service.
+  net_->transmit(prev, dst, onion.size(), "onion");
+  last_origin_seen_ = prev;
+  Bytes response = service(onion);
+  // Response path: each relay adds a layer with its hop key; the client,
+  // knowing all hop keys, peels them all.
+  Bytes back = response;
+  std::string from = dst;
+  for (size_t i = hops; i-- > 0;) {
+    const Relay& relay = relays_[circuit[i]];
+    net_->transmit(from, relay.name, back.size(), "onion");
+    back = cipher::aead_encrypt(hop_keys[i], back, {}, rng);
+    from = relay.name;
+  }
+  net_->transmit(from, src, back.size(), "onion");
+  for (size_t i = 0; i < hops; ++i) {
+    back = cipher::aead_decrypt(hop_keys[i], back, {});
+  }
+  return back;
+}
+
+}  // namespace hcpp::sim

@@ -1,0 +1,34 @@
+// PRG-randomized upload scheduler — the §VI.C countermeasure against timing
+// analysis ("employ some scheduling technique to randomize the uploads and
+// minimize the correlation; a PRF or PRG with a random seed would suffice").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace hcpp::sim {
+
+class UploadScheduler {
+ public:
+  /// Uploads are delayed by a uniform draw from [min_delay, max_delay] ns.
+  UploadScheduler(RandomSource& rng, uint64_t min_delay_ns,
+                  uint64_t max_delay_ns);
+
+  /// Maps a triggering event time (e.g. returning from the hospital) to the
+  /// scheduled upload time.
+  [[nodiscard]] uint64_t schedule(uint64_t event_time_ns);
+
+ private:
+  RandomSource* rng_;
+  uint64_t min_delay_ns_;
+  uint64_t max_delay_ns_;
+};
+
+/// Pearson correlation between two equally long series — the measure the
+/// timing-analysis benchmark (E6) reports for event vs. upload times.
+double pearson_correlation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+}  // namespace hcpp::sim

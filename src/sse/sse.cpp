@@ -1,0 +1,313 @@
+#include "src/sse/sse.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "src/cipher/aead.h"
+#include "src/cipher/chacha20.h"
+#include "src/hash/hmac.h"
+#include "src/hash/sha256.h"
+#include "src/prf/feistel.h"
+#include "src/prf/prf.h"
+
+namespace hcpp::sse {
+
+namespace {
+
+constexpr size_t kKeyLen = 32;
+constexpr size_t kVaddrLen = 16;
+constexpr size_t kMaskLen = 40;  // 8-byte address + 32-byte λ
+constexpr size_t kTagLen = 4;
+
+// Node plaintext layout: has_next(1) ‖ fid(8) ‖ λ_next(32) ‖ next_addr(8).
+Bytes encode_node(bool has_next, FileId fid, BytesView next_key,
+                  uint64_t next_addr) {
+  Bytes n;
+  n.reserve(kNodeSize);
+  n.push_back(has_next ? 1 : 0);
+  for (int s = 56; s >= 0; s -= 8) n.push_back(static_cast<uint8_t>(fid >> s));
+  append(n, next_key);
+  for (int s = 56; s >= 0; s -= 8) {
+    n.push_back(static_cast<uint8_t>(next_addr >> s));
+  }
+  return n;
+}
+
+// Per-node encryption: single-use key λ, so a fixed-nonce stream cipher is
+// exactly the semantically secure SKE the construction requires and keeps
+// slots at kNodeSize bytes.
+Bytes crypt_node(BytesView lambda, BytesView node) {
+  Bytes nonce(cipher::kChaChaNonceSize, 0);
+  return cipher::chacha20(lambda, nonce, 0, node);
+}
+
+// ϖ_c: keyword -> 16-byte virtual address (hash to the PRP's domain, then
+// permute, mirroring the paper's PRP-on-padded-keyword).
+Bytes virtual_address(const Keys& keys, std::string_view kw) {
+  Bytes h = hash::sha256_bytes(to_bytes(kw));
+  h.resize(kVaddrLen);
+  prf::FeistelPrp prp(keys.c, kVaddrLen);
+  return prp.forward(h);
+}
+
+// f_b: keyword -> 40-byte mask.
+Bytes keyword_mask(const Keys& keys, std::string_view kw) {
+  prf::Prf f(keys.b);
+  return f.eval(to_bytes(kw), kMaskLen);
+}
+
+Bytes trapdoor_tag(BytesView address, BytesView mask) {
+  Bytes input = concat(address, mask);
+  Bytes digest = hash::sha256_bytes(input);
+  digest.resize(kTagLen);
+  return digest;
+}
+
+}  // namespace
+
+Keys Keys::generate(RandomSource& rng) {
+  Keys k;
+  k.a = rng.bytes(kKeyLen);
+  k.b = rng.bytes(kKeyLen);
+  k.c = rng.bytes(kKeyLen);
+  k.d = rng.bytes(kKeyLen);
+  k.s = rng.bytes(kKeyLen);
+  return k;
+}
+
+Bytes Keys::to_bytes() const {
+  io::Writer w;
+  w.bytes(a);
+  w.bytes(b);
+  w.bytes(c);
+  w.bytes(d);
+  w.bytes(s);
+  return w.take();
+}
+
+Keys Keys::from_bytes(BytesView bv) {
+  io::Reader r(bv);
+  Keys k;
+  k.a = r.bytes();
+  k.b = r.bytes();
+  k.c = r.bytes();
+  k.d = r.bytes();
+  k.s = r.bytes();
+  return k;
+}
+
+Bytes PlainFile::to_bytes() const {
+  io::Writer w;
+  w.u64(id);
+  w.str(name);
+  w.bytes(content);
+  w.u32(static_cast<uint32_t>(keywords.size()));
+  for (const std::string& kw : keywords) w.str(kw);
+  return w.take();
+}
+
+PlainFile PlainFile::from_bytes(BytesView bv) {
+  io::Reader r(bv);
+  PlainFile f;
+  f.id = r.u64();
+  f.name = r.str();
+  f.content = r.bytes();
+  uint32_t n = r.u32();
+  for (uint32_t i = 0; i < n; ++i) f.keywords.push_back(r.str());
+  return f;
+}
+
+SecureIndex build_index(std::span<const PlainFile> files, const Keys& keys,
+                        RandomSource& rng, double padding_factor) {
+  if (padding_factor < 1.0) {
+    throw std::invalid_argument("build_index: padding_factor < 1");
+  }
+  // Invert the file->keywords relation (ordered for determinism).
+  std::map<std::string, std::vector<FileId>> postings;
+  for (const PlainFile& f : files) {
+    for (const std::string& kw : f.keywords) postings[kw].push_back(f.id);
+  }
+  size_t total_nodes = 0;
+  for (const auto& [kw, fids] : postings) total_nodes += fids.size();
+
+  SecureIndex si;
+  size_t array_size = std::max<size_t>(
+      8, static_cast<size_t>(static_cast<double>(total_nodes) *
+                             padding_factor));
+  si.array_a.assign(array_size, Bytes());
+  prf::SmallDomainPrp phi(keys.a, array_size);
+
+  uint64_t ctr = 0;
+  for (const auto& [kw, fids] : postings) {
+    Bytes lambda_prev = rng.bytes(kKeyLen);  // λ_{i,0}
+    uint64_t head_addr = phi.forward(ctr);
+    // T[ϖ_c(kw)] = (head_addr ‖ λ_{i,0}) ⊕ f_b(kw)
+    Bytes entry;
+    for (int s = 56; s >= 0; s -= 8) {
+      entry.push_back(static_cast<uint8_t>(head_addr >> s));
+    }
+    append(entry, lambda_prev);
+    Bytes masked = xor_bytes(entry, keyword_mask(keys, kw));
+    si.table_t[hex_encode(virtual_address(keys, kw))] = masked;
+
+    for (size_t j = 0; j < fids.size(); ++j) {
+      uint64_t addr = phi.forward(ctr);
+      ++ctr;
+      bool has_next = (j + 1 < fids.size());
+      uint64_t next_addr = has_next ? phi.forward(ctr) : 0;
+      Bytes lambda_next = has_next ? rng.bytes(kKeyLen) : Bytes(kKeyLen, 0);
+      Bytes node = encode_node(has_next, fids[j], lambda_next, next_addr);
+      si.array_a[addr] = crypt_node(lambda_prev, node);
+      lambda_prev = lambda_next;
+    }
+  }
+  // Fill unused slots with random bytes so the array looks uniform.
+  for (Bytes& slot : si.array_a) {
+    if (slot.empty()) slot = rng.bytes(kNodeSize);
+  }
+  return si;
+}
+
+EncryptedCollection encrypt_collection(std::span<const PlainFile> files,
+                                       const Keys& keys, RandomSource& rng) {
+  EncryptedCollection ec;
+  for (const PlainFile& f : files) {
+    ec.files[f.id] = cipher::aead_encrypt(keys.s, f.to_bytes(), {}, rng);
+  }
+  return ec;
+}
+
+PlainFile decrypt_file(const Keys& keys, BytesView blob) {
+  return PlainFile::from_bytes(cipher::aead_decrypt(keys.s, blob, {}));
+}
+
+Trapdoor make_trapdoor(const Keys& keys, std::string_view kw) {
+  return Trapdoor{virtual_address(keys, kw), keyword_mask(keys, kw)};
+}
+
+std::vector<FileId> search(const SecureIndex& index, const Trapdoor& td) {
+  std::vector<FileId> result;
+  auto it = index.table_t.find(hex_encode(td.address));
+  if (it == index.table_t.end()) return result;
+  if (it->second.size() != kMaskLen || td.mask.size() != kMaskLen) {
+    return result;
+  }
+  Bytes entry = xor_bytes(it->second, td.mask);
+  uint64_t addr = 0;
+  for (int i = 0; i < 8; ++i) addr = (addr << 8) | entry[i];
+  Bytes lambda(entry.begin() + 8, entry.end());
+  // Walk the list; bound iterations by the array size to stay robust against
+  // corrupted indexes.
+  for (size_t hops = 0; hops < index.array_a.size(); ++hops) {
+    if (addr >= index.array_a.size()) break;
+    Bytes node = crypt_node(lambda, index.array_a[addr]);
+    bool has_next = node[0] == 1;
+    FileId fid = 0;
+    for (int i = 0; i < 8; ++i) fid = (fid << 8) | node[1 + i];
+    result.push_back(fid);
+    if (!has_next) break;
+    lambda.assign(node.begin() + 9, node.begin() + 9 + 32);
+    addr = 0;
+    for (int i = 0; i < 8; ++i) addr = (addr << 8) | node[41 + i];
+  }
+  return result;
+}
+
+Bytes Trapdoor::to_bytes() const {
+  Bytes out = concat(address, mask);
+  append(out, trapdoor_tag(address, mask));
+  return out;
+}
+
+std::optional<Trapdoor> Trapdoor::from_bytes(BytesView b) {
+  if (b.size() != kTrapdoorSize) return std::nullopt;
+  Trapdoor td;
+  td.address.assign(b.begin(), b.begin() + kVaddrLen);
+  td.mask.assign(b.begin() + kVaddrLen, b.begin() + kVaddrLen + kMaskLen);
+  Bytes tag(b.begin() + kVaddrLen + kMaskLen, b.end());
+  if (!ct_equal(tag, trapdoor_tag(td.address, td.mask))) return std::nullopt;
+  return td;
+}
+
+Bytes wrap_trapdoor(BytesView d, const Trapdoor& td) {
+  prf::FeistelPrp theta(Bytes(d.begin(), d.end()), kTrapdoorSize);
+  return theta.forward(td.to_bytes());
+}
+
+std::optional<Trapdoor> unwrap_trapdoor(BytesView d, BytesView wrapped) {
+  if (wrapped.size() != kTrapdoorSize) return std::nullopt;
+  prf::FeistelPrp theta(Bytes(d.begin(), d.end()), kTrapdoorSize);
+  return Trapdoor::from_bytes(theta.inverse(wrapped));
+}
+
+Bytes SecureIndex::to_bytes() const {
+  io::Writer w;
+  w.u64(array_a.size());
+  for (const Bytes& slot : array_a) w.raw(slot);
+  w.u64(table_t.size());
+  // Deterministic order for stable wire bytes.
+  std::vector<std::pair<std::string, Bytes>> entries(table_t.begin(),
+                                                     table_t.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  for (const auto& [k, v] : entries) {
+    w.str(k);
+    w.bytes(v);
+  }
+  return w.take();
+}
+
+SecureIndex SecureIndex::from_bytes(BytesView bv) {
+  io::Reader r(bv);
+  SecureIndex si;
+  uint64_t n = r.u64();
+  si.array_a.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) si.array_a.push_back(r.raw(kNodeSize));
+  uint64_t m = r.u64();
+  for (uint64_t i = 0; i < m; ++i) {
+    std::string k = r.str();
+    si.table_t[k] = r.bytes();
+  }
+  return si;
+}
+
+size_t SecureIndex::size_bytes() const {
+  size_t total = 16;
+  total += array_a.size() * kNodeSize;
+  for (const auto& [k, v] : table_t) total += k.size() + v.size() + 8;
+  return total;
+}
+
+Bytes EncryptedCollection::to_bytes() const {
+  io::Writer w;
+  w.u64(files.size());
+  std::vector<FileId> ids;
+  ids.reserve(files.size());
+  for (const auto& [id, blob] : files) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (FileId id : ids) {
+    w.u64(id);
+    w.bytes(files.at(id));
+  }
+  return w.take();
+}
+
+EncryptedCollection EncryptedCollection::from_bytes(BytesView bv) {
+  io::Reader r(bv);
+  EncryptedCollection ec;
+  uint64_t n = r.u64();
+  for (uint64_t i = 0; i < n; ++i) {
+    FileId id = r.u64();
+    ec.files[id] = r.bytes();
+  }
+  return ec;
+}
+
+size_t EncryptedCollection::size_bytes() const {
+  size_t total = 8;
+  for (const auto& [id, blob] : files) total += 12 + blob.size();
+  return total;
+}
+
+}  // namespace hcpp::sse

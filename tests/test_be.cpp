@@ -1,0 +1,124 @@
+// Broadcast encryption (complete subtree): coverage, revocation, re-keying.
+#include <gtest/gtest.h>
+
+#include "src/be/broadcast.h"
+#include "src/cipher/drbg.h"
+
+namespace hcpp::be {
+namespace {
+
+TEST(Be, AllMembersDecryptWhenNoneRevoked) {
+  cipher::Drbg rng(to_bytes("be-all"));
+  BroadcastGroup group(4, rng);
+  Bytes payload = to_bytes("privilege key d");
+  Bytes ct = group.encrypt(payload, rng);
+  for (size_t m = 0; m < group.capacity(); ++m) {
+    auto pt = decrypt(group.issue(m), ct);
+    ASSERT_TRUE(pt.has_value()) << "member " << m;
+    EXPECT_EQ(*pt, payload);
+  }
+}
+
+TEST(Be, RevokedMemberCannotDecrypt) {
+  cipher::Drbg rng(to_bytes("be-revoke"));
+  BroadcastGroup group(8, rng);
+  MemberKeys victim = group.issue(3);
+  group.revoke(3);
+  Bytes ct = group.encrypt(to_bytes("d-new"), rng);
+  EXPECT_FALSE(decrypt(victim, ct).has_value());
+  // Everyone else still can.
+  for (size_t m = 0; m < group.capacity(); ++m) {
+    if (m == 3) continue;
+    EXPECT_TRUE(decrypt(group.issue(m), ct).has_value()) << "member " << m;
+  }
+}
+
+TEST(Be, ReinstateRestoresAccess) {
+  cipher::Drbg rng(to_bytes("be-reinstate"));
+  BroadcastGroup group(4, rng);
+  MemberKeys keys = group.issue(1);
+  group.revoke(1);
+  EXPECT_FALSE(decrypt(keys, group.encrypt(to_bytes("x"), rng)).has_value());
+  group.reinstate(1);
+  EXPECT_TRUE(decrypt(keys, group.encrypt(to_bytes("x"), rng)).has_value());
+}
+
+TEST(Be, MultipleRevocations) {
+  cipher::Drbg rng(to_bytes("be-multi"));
+  BroadcastGroup group(8, rng);
+  std::vector<MemberKeys> all;
+  for (size_t m = 0; m < 8; ++m) all.push_back(group.issue(m));
+  group.revoke(0);
+  group.revoke(5);
+  group.revoke(7);
+  Bytes ct = group.encrypt(to_bytes("d"), rng);
+  for (size_t m = 0; m < 8; ++m) {
+    bool revoked = (m == 0 || m == 5 || m == 7);
+    EXPECT_EQ(decrypt(all[m], ct).has_value(), !revoked) << "member " << m;
+  }
+}
+
+TEST(Be, AllRevokedProducesUndecryptableBlob) {
+  cipher::Drbg rng(to_bytes("be-allrev"));
+  BroadcastGroup group(2, rng);
+  MemberKeys k0 = group.issue(0), k1 = group.issue(1);
+  group.revoke(0);
+  group.revoke(1);
+  Bytes ct = group.encrypt(to_bytes("d"), rng);
+  EXPECT_FALSE(decrypt(k0, ct).has_value());
+  EXPECT_FALSE(decrypt(k1, ct).has_value());
+}
+
+TEST(Be, PathKeysAreLogarithmic) {
+  cipher::Drbg rng(to_bytes("be-log"));
+  BroadcastGroup group(64, rng);
+  MemberKeys keys = group.issue(17);
+  // depth log2(64) = 6, plus the leaf and root: 7 nodes.
+  EXPECT_EQ(keys.path_keys.size(), 7u);
+}
+
+TEST(Be, CoverSizeGrowsWithRevocations) {
+  cipher::Drbg rng(to_bytes("be-cover"));
+  BroadcastGroup group(16, rng);
+  size_t zero_rev = group.encrypt(to_bytes("d"), rng).size();
+  group.revoke(4);
+  size_t one_rev = group.encrypt(to_bytes("d"), rng).size();
+  EXPECT_GT(one_rev, zero_rev);  // 1 cover block -> log-many blocks
+}
+
+TEST(Be, MemberKeysSerializationRoundTrip) {
+  cipher::Drbg rng(to_bytes("be-ser"));
+  BroadcastGroup group(4, rng);
+  MemberKeys keys = group.issue(2);
+  MemberKeys back = MemberKeys::from_bytes(keys.to_bytes());
+  EXPECT_EQ(back.index, keys.index);
+  Bytes ct = group.encrypt(to_bytes("payload"), rng);
+  EXPECT_EQ(decrypt(back, ct), decrypt(keys, ct));
+}
+
+TEST(Be, CapacityRoundsUpAndBoundsChecked) {
+  cipher::Drbg rng(to_bytes("be-cap"));
+  BroadcastGroup group(5, rng);
+  EXPECT_EQ(group.capacity(), 8u);
+  EXPECT_THROW(group.issue(8), std::out_of_range);
+  EXPECT_THROW(group.revoke(8), std::out_of_range);
+}
+
+TEST(Be, ForeignKeysCannotDecrypt) {
+  cipher::Drbg rng(to_bytes("be-foreign"));
+  BroadcastGroup a(4, rng);
+  BroadcastGroup b(4, rng);
+  Bytes ct = a.encrypt(to_bytes("d"), rng);
+  EXPECT_FALSE(decrypt(b.issue(0), ct).has_value());
+}
+
+TEST(Be, MalformedCiphertextRejected) {
+  cipher::Drbg rng(to_bytes("be-malformed"));
+  BroadcastGroup group(4, rng);
+  MemberKeys keys = group.issue(0);
+  EXPECT_FALSE(decrypt(keys, to_bytes("garbage")).has_value());
+  EXPECT_FALSE(decrypt(keys, Bytes{}).has_value());
+}
+
+}  // namespace
+}  // namespace hcpp::be

@@ -1,0 +1,114 @@
+// Unit tests for the byte utilities and the binary serializer.
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/common/serialize.h"
+
+namespace hcpp {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(hex_encode(b), "0001abff");
+  EXPECT_EQ(hex_decode("0001abff"), b);
+  EXPECT_EQ(hex_decode("0001ABFF"), b);
+}
+
+TEST(Bytes, HexDecodeRejectsBadInput) {
+  EXPECT_THROW(hex_decode("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(hex_decode("zz"), std::invalid_argument);    // bad digit
+}
+
+TEST(Bytes, HexEncodeEmpty) { EXPECT_EQ(hex_encode(Bytes{}), ""); }
+
+TEST(Bytes, XorBytes) {
+  Bytes a = {0xff, 0x0f, 0x00};
+  Bytes b = {0x0f, 0x0f, 0xff};
+  EXPECT_EQ(xor_bytes(a, b), (Bytes{0xf0, 0x00, 0xff}));
+  EXPECT_THROW(xor_bytes(a, Bytes{0x01}), std::invalid_argument);
+}
+
+TEST(Bytes, XorIsInvolution) {
+  Bytes a = to_bytes("hello world");
+  Bytes mask = to_bytes("abcdefghijk");
+  EXPECT_EQ(xor_bytes(xor_bytes(a, mask), mask), a);
+}
+
+TEST(Bytes, CtEqual) {
+  EXPECT_TRUE(ct_equal(to_bytes("abc"), to_bytes("abc")));
+  EXPECT_FALSE(ct_equal(to_bytes("abc"), to_bytes("abd")));
+  EXPECT_FALSE(ct_equal(to_bytes("abc"), to_bytes("ab")));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, Concat) {
+  Bytes r = concat(to_bytes("ab"), to_bytes("cd"), to_bytes("ef"));
+  EXPECT_EQ(to_string(r), "abcdef");
+}
+
+TEST(Bytes, SecureWipe) {
+  Bytes b = to_bytes("secret");
+  secure_wipe(b);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Bytes, StringRoundTrip) {
+  EXPECT_EQ(to_string(to_bytes("héllo")), "héllo");
+}
+
+TEST(Serialize, PrimitivesRoundTrip) {
+  io::Writer w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.bytes(to_bytes("payload"));
+  w.str("name");
+  io::Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(to_string(r.bytes()), "payload");
+  EXPECT_EQ(r.str(), "name");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, BigEndianLayout) {
+  io::Writer w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data(), (Bytes{0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(Serialize, TruncatedInputThrows) {
+  io::Writer w;
+  w.u32(7);
+  {
+    io::Reader r(w.data());
+    EXPECT_THROW(r.u64(), std::out_of_range);
+  }
+  {
+    // Length prefix says 7 bytes but none follow.
+    io::Reader r(w.data());
+    EXPECT_THROW(r.bytes(), std::out_of_range);
+  }
+}
+
+TEST(Serialize, RawAndRemaining) {
+  io::Writer w;
+  w.raw(to_bytes("abcdef"));
+  io::Reader r(w.data());
+  EXPECT_EQ(r.remaining(), 6u);
+  EXPECT_EQ(to_string(r.raw(3)), "abc");
+  EXPECT_EQ(r.remaining(), 3u);
+  EXPECT_THROW(r.raw(4), std::out_of_range);
+}
+
+TEST(Serialize, EmptyBytesField) {
+  io::Writer w;
+  w.bytes(Bytes{});
+  io::Reader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+}  // namespace
+}  // namespace hcpp

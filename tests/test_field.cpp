@@ -1,0 +1,153 @@
+// Field-law tests for F_p and F_{p^2}.
+#include <gtest/gtest.h>
+
+#include "src/cipher/drbg.h"
+#include "src/curve/params.h"
+#include "src/field/fp2.h"
+#include "src/mp/prime.h"
+
+namespace hcpp::field {
+namespace {
+
+const FpCtx& test_field() {
+  return curve::params(curve::ParamSet::kTest).fp;
+}
+
+Fp random_fp(const FpCtx& f, RandomSource& rng) {
+  return Fp(&f, mp::random_below(f.p, rng));
+}
+
+TEST(Fp, ConstructionReducesModP) {
+  const FpCtx& f = test_field();
+  Fp a(&f, f.p);  // p ≡ 0
+  EXPECT_TRUE(a.is_zero());
+  mp::U512 big;
+  mp::add(big, f.p, mp::U512::from_u64(5));
+  EXPECT_EQ(Fp(&f, big).value(), mp::U512::from_u64(5));
+}
+
+TEST(Fp, FieldLaws) {
+  const FpCtx& f = test_field();
+  cipher::Drbg rng(to_bytes("fp-laws"));
+  for (int i = 0; i < 20; ++i) {
+    Fp a = random_fp(f, rng), b = random_fp(f, rng), c = random_fp(f, rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Fp::zero(&f));
+    EXPECT_EQ(a + a.neg(), Fp::zero(&f));
+    EXPECT_EQ(a.sqr(), a * a);
+    if (!a.is_zero()) {
+      EXPECT_EQ(a * a.inv(), Fp::one(&f));
+    }
+  }
+}
+
+TEST(Fp, InvOfZeroThrows) {
+  EXPECT_THROW((void)Fp::zero(&test_field()).inv(), std::domain_error);
+}
+
+TEST(Fp, PowMatchesRepeatedMultiplication) {
+  const FpCtx& f = test_field();
+  cipher::Drbg rng(to_bytes("fp-pow"));
+  Fp a = random_fp(f, rng);
+  Fp acc = Fp::one(&f);
+  for (int e = 0; e < 10; ++e) {
+    EXPECT_EQ(a.pow(mp::U512::from_u64(e)), acc);
+    acc = acc * a;
+  }
+}
+
+TEST(Fp, SqrtOfSquares) {
+  const FpCtx& f = test_field();
+  cipher::Drbg rng(to_bytes("fp-sqrt"));
+  int squares_found = 0;
+  for (int i = 0; i < 30; ++i) {
+    Fp a = random_fp(f, rng);
+    Fp sq = a.sqr();
+    if (a.is_zero()) continue;
+    EXPECT_TRUE(sq.is_square());
+    auto root = sq.sqrt();
+    ASSERT_TRUE(root.has_value());
+    EXPECT_TRUE(*root == a || *root == a.neg());
+    ++squares_found;
+  }
+  EXPECT_GT(squares_found, 0);
+}
+
+TEST(Fp, NonResidueHasNoRoot) {
+  const FpCtx& f = test_field();
+  cipher::Drbg rng(to_bytes("fp-nonres"));
+  int nonresidues = 0;
+  for (int i = 0; i < 40 && nonresidues < 5; ++i) {
+    Fp a = random_fp(f, rng);
+    if (a.is_zero() || a.is_square()) continue;
+    ++nonresidues;
+    EXPECT_FALSE(a.sqrt().has_value());
+  }
+  EXPECT_GT(nonresidues, 0);
+}
+
+TEST(Fp, MinusOneIsNonResidue) {
+  // p ≡ 3 (mod 4) makes -1 a non-residue — the premise of Fp2 = Fp[i].
+  const FpCtx& f = test_field();
+  Fp minus_one = Fp::one(&f).neg();
+  EXPECT_FALSE(minus_one.is_square());
+}
+
+TEST(Fp2, FieldLaws) {
+  const FpCtx& f = test_field();
+  cipher::Drbg rng(to_bytes("fp2-laws"));
+  for (int i = 0; i < 15; ++i) {
+    Fp2 a(random_fp(f, rng), random_fp(f, rng));
+    Fp2 b(random_fp(f, rng), random_fp(f, rng));
+    Fp2 c(random_fp(f, rng), random_fp(f, rng));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a.sqr(), a * a);
+    if (!a.is_zero()) {
+      EXPECT_TRUE((a * a.inv()).is_one());
+    }
+  }
+}
+
+TEST(Fp2, ImaginaryUnitSquaresToMinusOne) {
+  const FpCtx& f = test_field();
+  Fp2 i_unit(Fp::zero(&f), Fp::one(&f));
+  Fp2 minus_one(Fp::one(&f).neg(), Fp::zero(&f));
+  EXPECT_EQ(i_unit * i_unit, minus_one);
+}
+
+TEST(Fp2, ConjugationIsFrobenius) {
+  // x^p = conj(x) in F_{p^2} when p ≡ 3 (mod 4).
+  const FpCtx& f = test_field();
+  cipher::Drbg rng(to_bytes("fp2-frob"));
+  Fp2 x(random_fp(f, rng), random_fp(f, rng));
+  EXPECT_EQ(x.pow(f.p), x.conj());
+}
+
+TEST(Fp2, NormMultiplicativity) {
+  const FpCtx& f = test_field();
+  cipher::Drbg rng(to_bytes("fp2-norm"));
+  Fp2 a(random_fp(f, rng), random_fp(f, rng));
+  Fp2 b(random_fp(f, rng), random_fp(f, rng));
+  auto norm = [](const Fp2& x) {
+    return x.re().sqr() + x.im().sqr();
+  };
+  EXPECT_EQ(norm(a * b), norm(a) * norm(b));
+}
+
+TEST(Fp2, SerializationIsCanonical) {
+  const FpCtx& f = test_field();
+  Fp2 x(Fp(&f, mp::U512::from_u64(1)), Fp(&f, mp::U512::from_u64(2)));
+  Bytes enc = x.to_bytes();
+  EXPECT_EQ(enc.size(), 128u);
+  Fp2 y(Fp(&f, mp::U512::from_u64(1)), Fp(&f, mp::U512::from_u64(2)));
+  EXPECT_EQ(enc, y.to_bytes());
+}
+
+}  // namespace
+}  // namespace hcpp::field

@@ -1,0 +1,170 @@
+// Hierarchical IBC (§IV.A): key derivation down the federal → state →
+// hospital tree, encryption to identity paths, hierarchical signatures.
+#include <gtest/gtest.h>
+
+#include "src/cipher/drbg.h"
+#include "src/curve/params.h"
+#include "src/ibc/hibc.h"
+
+namespace hcpp::ibc {
+namespace {
+
+const curve::CurveCtx& ctx() { return curve::params(curve::ParamSet::kTest); }
+
+struct Tree {
+  HibcNode root;
+  HibcNode state_fl;
+  HibcNode state_tn;
+  HibcNode hospital_gainesville;
+  HibcNode hospital_knoxville;
+};
+
+Tree make_tree(std::string_view seed) {
+  cipher::Drbg rng(to_bytes(seed));
+  Tree t{HibcNode::root(ctx(), rng),
+         HibcNode::root(ctx(), rng),  // placeholder, reassigned below
+         HibcNode::root(ctx(), rng),
+         HibcNode::root(ctx(), rng),
+         HibcNode::root(ctx(), rng)};
+  t.state_fl = t.root.derive_child("florida", rng);
+  t.state_tn = t.root.derive_child("tennessee", rng);
+  t.hospital_gainesville = t.state_fl.derive_child("shands-gainesville", rng);
+  t.hospital_knoxville = t.state_tn.derive_child("ut-medical", rng);
+  return t;
+}
+
+TEST(Hibc, PathsAndDepths) {
+  Tree t = make_tree("hibc-paths");
+  EXPECT_EQ(t.root.depth(), 0u);
+  EXPECT_EQ(t.state_fl.depth(), 1u);
+  EXPECT_EQ(t.hospital_gainesville.depth(), 2u);
+  EXPECT_EQ(t.hospital_gainesville.path(),
+            (std::vector<std::string>{"florida", "shands-gainesville"}));
+}
+
+TEST(Hibc, EncryptToLevel1) {
+  Tree t = make_tree("hibc-l1");
+  cipher::Drbg rng(to_bytes("hibc-l1-rng"));
+  std::vector<std::string> path = {"florida"};
+  Bytes msg = to_bytes("to the state A-server");
+  HibcCiphertext ct =
+      hibc_encrypt(t.root.public_params(), path, msg, rng);
+  EXPECT_EQ(hibc_decrypt(t.state_fl, ct), msg);
+}
+
+TEST(Hibc, EncryptToLevel2AcrossStates) {
+  Tree t = make_tree("hibc-l2");
+  cipher::Drbg rng(to_bytes("hibc-l2-rng"));
+  // A Tennessee patient encrypts to a Florida hospital knowing only the
+  // federal root parameters — the availability property of §V.A.
+  std::vector<std::string> path = {"florida", "shands-gainesville"};
+  Bytes msg = to_bytes("cross-domain PHI session request");
+  HibcCiphertext ct =
+      hibc_encrypt(t.root.public_params(), path, msg, rng);
+  EXPECT_EQ(hibc_decrypt(t.hospital_gainesville, ct), msg);
+}
+
+TEST(Hibc, WrongNodeCannotDecrypt) {
+  Tree t = make_tree("hibc-wrong");
+  cipher::Drbg rng(to_bytes("hibc-wrong-rng"));
+  std::vector<std::string> path = {"florida", "shands-gainesville"};
+  HibcCiphertext ct =
+      hibc_encrypt(t.root.public_params(), path, to_bytes("m"), rng);
+  EXPECT_THROW(hibc_decrypt(t.hospital_knoxville, ct), cipher::AuthError);
+  // Depth mismatch is also rejected.
+  EXPECT_THROW(hibc_decrypt(t.state_fl, ct), cipher::AuthError);
+}
+
+TEST(Hibc, ParentCannotDecryptChildTraffic) {
+  // GS-HIBE descendants-only: the state can derive the hospital's key, but
+  // the *sibling* state cannot; the direct parent CAN by re-deriving. What
+  // must hold is that an unrelated node fails, covered above; here we check
+  // a deeper chain decrypts only at the exact leaf.
+  Tree t = make_tree("hibc-deep");
+  cipher::Drbg rng(to_bytes("hibc-deep-rng"));
+  HibcNode ward = t.hospital_gainesville.derive_child("cardiology", rng);
+  std::vector<std::string> path = {"florida", "shands-gainesville",
+                                   "cardiology"};
+  HibcCiphertext ct =
+      hibc_encrypt(t.root.public_params(), path, to_bytes("deep"), rng);
+  EXPECT_EQ(hibc_decrypt(ward, ct), to_bytes("deep"));
+  EXPECT_THROW(hibc_decrypt(t.hospital_gainesville, ct), cipher::AuthError);
+}
+
+TEST(Hibc, RootCannotDecryptDirectly) {
+  Tree t = make_tree("hibc-root");
+  cipher::Drbg rng(to_bytes("hibc-root-rng"));
+  std::vector<std::string> path = {"florida"};
+  HibcCiphertext ct =
+      hibc_encrypt(t.root.public_params(), path, to_bytes("m"), rng);
+  EXPECT_THROW(hibc_decrypt(t.root, ct), std::invalid_argument);
+}
+
+TEST(Hibc, EmptyPathRejected) {
+  Tree t = make_tree("hibc-empty");
+  cipher::Drbg rng(to_bytes("hibc-empty-rng"));
+  EXPECT_THROW(hibc_encrypt(t.root.public_params(), {}, to_bytes("m"), rng),
+               std::invalid_argument);
+}
+
+TEST(Hibc, CiphertextSerializationRoundTrip) {
+  Tree t = make_tree("hibc-ser");
+  cipher::Drbg rng(to_bytes("hibc-ser-rng"));
+  std::vector<std::string> path = {"florida", "shands-gainesville"};
+  HibcCiphertext ct =
+      hibc_encrypt(t.root.public_params(), path, to_bytes("m"), rng);
+  HibcCiphertext back = HibcCiphertext::from_bytes(ctx(), ct.to_bytes());
+  EXPECT_EQ(hibc_decrypt(t.hospital_gainesville, back), to_bytes("m"));
+  EXPECT_EQ(ct.size(), ct.to_bytes().size());
+}
+
+TEST(Hibc, TamperedCiphertextRejected) {
+  Tree t = make_tree("hibc-tamper");
+  cipher::Drbg rng(to_bytes("hibc-tamper-rng"));
+  std::vector<std::string> path = {"florida"};
+  HibcCiphertext ct =
+      hibc_encrypt(t.root.public_params(), path, to_bytes("m"), rng);
+  ct.box[0] ^= 1;
+  EXPECT_THROW(hibc_decrypt(t.state_fl, ct), cipher::AuthError);
+}
+
+TEST(HibcSig, SignVerifyAtEachDepth) {
+  Tree t = make_tree("hibs-sv");
+  Bytes msg = to_bytes("signed by the hierarchy");
+  {
+    HibcSignature sig = hibc_sign(t.state_fl, msg);
+    std::vector<std::string> path = {"florida"};
+    EXPECT_TRUE(hibc_verify(t.root.public_params(), path, msg, sig));
+  }
+  {
+    HibcSignature sig = hibc_sign(t.hospital_knoxville, msg);
+    std::vector<std::string> path = {"tennessee", "ut-medical"};
+    EXPECT_TRUE(hibc_verify(t.root.public_params(), path, msg, sig));
+  }
+}
+
+TEST(HibcSig, RejectsWrongMessagePathOrSignature) {
+  Tree t = make_tree("hibs-neg");
+  Bytes msg = to_bytes("m");
+  HibcSignature sig = hibc_sign(t.hospital_gainesville, msg);
+  std::vector<std::string> right = {"florida", "shands-gainesville"};
+  std::vector<std::string> wrong = {"florida", "other-hospital"};
+  EXPECT_TRUE(hibc_verify(t.root.public_params(), right, msg, sig));
+  EXPECT_FALSE(hibc_verify(t.root.public_params(), right, to_bytes("x"), sig));
+  EXPECT_FALSE(hibc_verify(t.root.public_params(), wrong, msg, sig));
+  HibcSignature bad = sig;
+  bad.sigma = curve::add(ctx(), bad.sigma, curve::generator(ctx()));
+  EXPECT_FALSE(hibc_verify(t.root.public_params(), right, msg, bad));
+}
+
+TEST(HibcSig, SerializationRoundTrip) {
+  Tree t = make_tree("hibs-ser");
+  Bytes msg = to_bytes("m");
+  HibcSignature sig = hibc_sign(t.state_tn, msg);
+  HibcSignature back = HibcSignature::from_bytes(ctx(), sig.to_bytes());
+  std::vector<std::string> path = {"tennessee"};
+  EXPECT_TRUE(hibc_verify(t.root.public_params(), path, msg, back));
+}
+
+}  // namespace
+}  // namespace hcpp::ibc

@@ -1,0 +1,106 @@
+// Pairing correctness: bilinearity, non-degeneracy, symmetry, target-group
+// order — the properties §II.A demands of ê.
+#include <gtest/gtest.h>
+
+#include "src/cipher/drbg.h"
+#include "src/curve/pairing.h"
+#include "src/curve/params.h"
+
+namespace hcpp::curve {
+namespace {
+
+const CurveCtx& ctx() { return params(ParamSet::kTest); }
+
+TEST(Pairing, Bilinearity) {
+  cipher::Drbg rng(to_bytes("pairing-bilinear"));
+  Point g = generator(ctx());
+  for (int i = 0; i < 3; ++i) {
+    mp::U512 a = random_scalar(ctx(), rng);
+    mp::U512 b = random_scalar(ctx(), rng);
+    Gt lhs = pairing(ctx(), mul(ctx(), g, a), mul(ctx(), g, b));
+    Gt rhs = pairing(ctx(), g, g).pow(mp::mul_mod(a, b, ctx().q));
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(Pairing, LinearInEachArgument) {
+  cipher::Drbg rng(to_bytes("pairing-linear"));
+  Point g = generator(ctx());
+  mp::U512 a = random_scalar(ctx(), rng);
+  Point p = mul(ctx(), g, random_scalar(ctx(), rng));
+  Point q = mul(ctx(), g, random_scalar(ctx(), rng));
+  EXPECT_EQ(pairing(ctx(), mul(ctx(), p, a), q), pairing(ctx(), p, q).pow(a));
+  EXPECT_EQ(pairing(ctx(), p, mul(ctx(), q, a)), pairing(ctx(), p, q).pow(a));
+}
+
+TEST(Pairing, MultiplicativeInFirstArgument) {
+  cipher::Drbg rng(to_bytes("pairing-mult"));
+  Point g = generator(ctx());
+  Point p = mul(ctx(), g, random_scalar(ctx(), rng));
+  Point q = mul(ctx(), g, random_scalar(ctx(), rng));
+  Point r = mul(ctx(), g, random_scalar(ctx(), rng));
+  EXPECT_EQ(pairing(ctx(), add(ctx(), p, q), r),
+            pairing(ctx(), p, r) * pairing(ctx(), q, r));
+}
+
+TEST(Pairing, NonDegenerate) {
+  Point g = generator(ctx());
+  Gt e = pairing(ctx(), g, g);
+  EXPECT_FALSE(e.is_one());
+}
+
+TEST(Pairing, TargetGroupHasOrderQ) {
+  Point g = generator(ctx());
+  Gt e = pairing(ctx(), g, g);
+  EXPECT_TRUE(e.pow(ctx().q).is_one());
+  // ...and not a smaller order dividing a few small factors.
+  EXPECT_FALSE(e.pow(mp::U512::from_u64(2)).is_one());
+  EXPECT_FALSE(e.pow(mp::U512::from_u64(3)).is_one());
+}
+
+TEST(Pairing, SymmetricForModifiedPairing) {
+  // The distortion-map pairing on a supersingular curve is symmetric — the
+  // property the shared keys ν = ê(Γp, PK_S) = ê(TPp, Γ_S) rely on.
+  cipher::Drbg rng(to_bytes("pairing-sym"));
+  Point g = generator(ctx());
+  Point p = mul(ctx(), g, random_scalar(ctx(), rng));
+  Point q = mul(ctx(), g, random_scalar(ctx(), rng));
+  EXPECT_EQ(pairing(ctx(), p, q), pairing(ctx(), q, p));
+}
+
+TEST(Pairing, InfinityGivesIdentity) {
+  Point g = generator(ctx());
+  EXPECT_TRUE(pairing(ctx(), Point::at_infinity(), g).is_one());
+  EXPECT_TRUE(pairing(ctx(), g, Point::at_infinity()).is_one());
+}
+
+TEST(Pairing, NegationInvertsValue) {
+  cipher::Drbg rng(to_bytes("pairing-neg"));
+  Point g = generator(ctx());
+  Point p = mul(ctx(), g, random_scalar(ctx(), rng));
+  Gt e = pairing(ctx(), p, g);
+  EXPECT_EQ(pairing(ctx(), negate(p), g), e.inv());
+  EXPECT_TRUE((e * e.inv()).is_one());
+}
+
+TEST(Pairing, HashedPointsPairConsistently) {
+  // The BF-IBE correctness equation: ê(s·H1(id), rP) == ê(H1(id), sP)^r.
+  cipher::Drbg rng(to_bytes("pairing-ibe"));
+  Point g = generator(ctx());
+  Point q_id = hash_to_point(ctx(), to_bytes("dr-alice"));
+  mp::U512 s = random_scalar(ctx(), rng);
+  mp::U512 r = random_scalar(ctx(), rng);
+  Gt lhs = pairing(ctx(), mul(ctx(), q_id, s), mul(ctx(), g, r));
+  Gt rhs = pairing(ctx(), q_id, mul(ctx(), g, s)).pow(r);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Pairing, GtSerializationStable) {
+  Point g = generator(ctx());
+  Gt e = pairing(ctx(), g, g);
+  EXPECT_EQ(e.to_bytes(), pairing(ctx(), g, g).to_bytes());
+  EXPECT_EQ(e.to_bytes().size(), 128u);
+}
+
+}  // namespace
+}  // namespace hcpp::curve

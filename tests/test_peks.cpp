@@ -1,0 +1,159 @@
+// PEKS (§II.C / §IV.E): match/mismatch, both variants, serialization.
+#include <gtest/gtest.h>
+
+#include "src/cipher/drbg.h"
+#include "src/peks/peks.h"
+
+namespace hcpp::peks {
+namespace {
+
+const curve::CurveCtx& ctx() { return curve::params(curve::ParamSet::kTest); }
+
+struct PeksSetup {
+  ibc::Domain domain;
+  curve::Point role_key;
+};
+
+PeksSetup make(std::string_view seed, const std::string& role) {
+  cipher::Drbg rng(to_bytes(seed));
+  ibc::Domain d(ctx(), rng);
+  curve::Point key = d.extract(role);
+  return {std::move(d), key};
+}
+
+class PeksVariant : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(PeksVariant, MatchingKeywordTests) {
+  PeksSetup s = make("peks-match", "2011-04-12|emergency|gainesville");
+  cipher::Drbg rng(to_bytes("peks-match-rng"));
+  PeksCiphertext ct =
+      peks_encrypt(s.domain.pub(), "2011-04-12|emergency|gainesville",
+                   "day:2011-04-12", rng, GetParam());
+  Trapdoor td = peks_trapdoor(ctx(), s.role_key, "day:2011-04-12");
+  EXPECT_TRUE(peks_test(ctx(), ct, td));
+}
+
+TEST_P(PeksVariant, WrongKeywordFails) {
+  PeksSetup s = make("peks-kw", "role-a");
+  cipher::Drbg rng(to_bytes("peks-kw-rng"));
+  PeksCiphertext ct =
+      peks_encrypt(s.domain.pub(), "role-a", "day:2011-04-12", rng,
+                   GetParam());
+  Trapdoor td = peks_trapdoor(ctx(), s.role_key, "day:2011-04-13");
+  EXPECT_FALSE(peks_test(ctx(), ct, td));
+}
+
+TEST_P(PeksVariant, WrongRoleFails) {
+  PeksSetup s = make("peks-role", "role-a");
+  cipher::Drbg rng(to_bytes("peks-role-rng"));
+  PeksCiphertext ct =
+      peks_encrypt(s.domain.pub(), "role-b", "kw", rng, GetParam());
+  Trapdoor td = peks_trapdoor(ctx(), s.role_key, "kw");  // key for role-a
+  EXPECT_FALSE(peks_test(ctx(), ct, td));
+}
+
+TEST_P(PeksVariant, SerializationRoundTrip) {
+  PeksSetup s = make("peks-ser", "role-a");
+  cipher::Drbg rng(to_bytes("peks-ser-rng"));
+  PeksCiphertext ct =
+      peks_encrypt(s.domain.pub(), "role-a", "kw", rng, GetParam());
+  PeksCiphertext back = PeksCiphertext::from_bytes(ctx(), ct.to_bytes());
+  Trapdoor td = peks_trapdoor(ctx(), s.role_key, "kw");
+  EXPECT_TRUE(peks_test(ctx(), back, td));
+  Trapdoor td_back = Trapdoor::from_bytes(ctx(), td.to_bytes());
+  EXPECT_TRUE(peks_test(ctx(), back, td_back));
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, PeksVariant,
+                         ::testing::Values(Variant::kBdop,
+                                           Variant::kRandomized));
+
+TEST(Peks, CiphertextsAreRandomized) {
+  PeksSetup s = make("peks-rand", "role-a");
+  cipher::Drbg rng(to_bytes("peks-rand-rng"));
+  PeksCiphertext a = peks_encrypt(s.domain.pub(), "role-a", "kw", rng);
+  PeksCiphertext b = peks_encrypt(s.domain.pub(), "role-a", "kw", rng);
+  EXPECT_NE(a.to_bytes(), b.to_bytes());
+  Trapdoor td = peks_trapdoor(ctx(), s.role_key, "kw");
+  EXPECT_TRUE(peks_test(ctx(), a, td));
+  EXPECT_TRUE(peks_test(ctx(), b, td));
+}
+
+TEST(Peks, TrapdoorIsDeterministic) {
+  PeksSetup s = make("peks-td", "role-a");
+  Trapdoor a = peks_trapdoor(ctx(), s.role_key, "kw");
+  Trapdoor b = peks_trapdoor(ctx(), s.role_key, "kw");
+  EXPECT_EQ(a.to_bytes(), b.to_bytes());
+}
+
+TEST(Peks, MultipleKeywordsPerWindow) {
+  // The §IV.E pattern: one window tagged for each of the following 5 days.
+  PeksSetup s = make("peks-multi", "role-a");
+  cipher::Drbg rng(to_bytes("peks-multi-rng"));
+  std::vector<PeksCiphertext> tags;
+  for (int day = 12; day < 17; ++day) {
+    tags.push_back(peks_encrypt(s.domain.pub(), "role-a",
+                                "day:2011-04-" + std::to_string(day), rng));
+  }
+  Trapdoor td = peks_trapdoor(ctx(), s.role_key, "day:2011-04-14");
+  int matches = 0;
+  for (const PeksCiphertext& tag : tags) {
+    if (peks_test(ctx(), tag, td)) ++matches;
+  }
+  EXPECT_EQ(matches, 1);
+}
+
+TEST(PeksSet, ConjunctiveSetMatchesRegardlessOfOrder) {
+  PeksSetup s = make("peks-set", "role-a");
+  cipher::Drbg rng(to_bytes("peks-set-rng"));
+  std::vector<std::string> kws = {"day:2011-04-12", "risk:cardiac"};
+  std::vector<std::string> reversed = {"risk:cardiac", "day:2011-04-12"};
+  PeksCiphertext ct = peks_encrypt_set(s.domain.pub(), "role-a", kws, rng);
+  Trapdoor td = peks_trapdoor_set(ctx(), s.role_key, reversed);
+  EXPECT_TRUE(peks_test(ctx(), ct, td));
+}
+
+TEST(PeksSet, SubsetDoesNotMatch) {
+  PeksSetup s = make("peks-subset", "role-a");
+  cipher::Drbg rng(to_bytes("peks-subset-rng"));
+  std::vector<std::string> kws = {"day:2011-04-12", "risk:cardiac"};
+  std::vector<std::string> subset = {"day:2011-04-12"};
+  std::vector<std::string> superset = {"day:2011-04-12", "risk:cardiac",
+                                       "extra"};
+  PeksCiphertext ct = peks_encrypt_set(s.domain.pub(), "role-a", kws, rng);
+  EXPECT_FALSE(peks_test(ctx(), ct,
+                         peks_trapdoor_set(ctx(), s.role_key, subset)));
+  EXPECT_FALSE(peks_test(ctx(), ct,
+                         peks_trapdoor_set(ctx(), s.role_key, superset)));
+}
+
+TEST(PeksSet, SingletonSetEqualsSingleKeyword) {
+  PeksSetup s = make("peks-single", "role-a");
+  cipher::Drbg rng(to_bytes("peks-single-rng"));
+  std::vector<std::string> one = {"kw"};
+  PeksCiphertext ct = peks_encrypt_set(s.domain.pub(), "role-a", one, rng);
+  // A single-keyword trapdoor from the scalar-sum path matches the plain
+  // single-keyword trapdoor.
+  Trapdoor td = peks_trapdoor(ctx(), s.role_key, "kw");
+  EXPECT_TRUE(peks_test(ctx(), ct, td));
+}
+
+TEST(PeksSet, EmptySetRejected) {
+  PeksSetup s = make("peks-empty", "role-a");
+  cipher::Drbg rng(to_bytes("peks-empty-rng"));
+  std::vector<std::string> none;
+  EXPECT_THROW(peks_encrypt_set(s.domain.pub(), "role-a", none, rng),
+               std::invalid_argument);
+  EXPECT_THROW(peks_trapdoor_set(ctx(), s.role_key, none),
+               std::invalid_argument);
+}
+
+TEST(Peks, RejectsMalformedCiphertext) {
+  EXPECT_THROW(PeksCiphertext::from_bytes(ctx(), to_bytes("junk")),
+               std::exception);
+  Bytes bad = {9};  // invalid variant tag
+  EXPECT_THROW(PeksCiphertext::from_bytes(ctx(), bad), std::exception);
+}
+
+}  // namespace
+}  // namespace hcpp::peks

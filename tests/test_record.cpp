@@ -1,0 +1,128 @@
+// PHI/MHI data model: synthetic generators and the keyword index KI.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cipher/drbg.h"
+#include "src/core/record.h"
+
+namespace hcpp::core {
+namespace {
+
+TEST(Generator, ProducesRequestedCountWithSequentialIds) {
+  cipher::Drbg rng(to_bytes("gen-count"));
+  auto files = generate_phi_collection(25, rng, /*first_id=*/100);
+  ASSERT_EQ(files.size(), 25u);
+  for (size_t i = 0; i < files.size(); ++i) {
+    EXPECT_EQ(files[i].id, 100 + i);
+    EXPECT_FALSE(files[i].name.empty());
+    EXPECT_FALSE(files[i].keywords.empty());
+  }
+}
+
+TEST(Generator, KeywordsComeFromClosedVocabulary) {
+  cipher::Drbg rng(to_bytes("gen-vocab"));
+  auto files = generate_phi_collection(200, rng);
+  for (const auto& f : files) {
+    bool has_category = false;
+    for (const std::string& kw : f.keywords) {
+      bool known_prefix = kw.rfind("category:", 0) == 0 ||
+                          kw.rfind("condition:", 0) == 0 ||
+                          kw.rfind("year:", 0) == 0;
+      EXPECT_TRUE(known_prefix) << kw;
+      has_category |= kw.rfind("category:", 0) == 0;
+    }
+    EXPECT_TRUE(has_category);
+  }
+}
+
+TEST(Generator, NoDuplicateKeywordsWithinAFile) {
+  cipher::Drbg rng(to_bytes("gen-dup"));
+  auto files = generate_phi_collection(100, rng, 1, /*extra=*/6);
+  for (const auto& f : files) {
+    std::set<std::string> uniq(f.keywords.begin(), f.keywords.end());
+    EXPECT_EQ(uniq.size(), f.keywords.size());
+  }
+}
+
+TEST(Generator, ContentSizeHonoured) {
+  cipher::Drbg rng(to_bytes("gen-size"));
+  auto files = generate_phi_collection(3, rng, 1, 3, /*content=*/777);
+  for (const auto& f : files) EXPECT_EQ(f.content.size(), 777u);
+}
+
+TEST(Generator, DeterministicUnderSameSeed) {
+  cipher::Drbg a(to_bytes("gen-det"));
+  cipher::Drbg b(to_bytes("gen-det"));
+  auto fa = generate_phi_collection(10, a);
+  auto fb = generate_phi_collection(10, b);
+  for (size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].to_bytes(), fb[i].to_bytes());
+  }
+}
+
+TEST(KeywordIndexTest, BuildInvertsFileKeywordRelation) {
+  cipher::Drbg rng(to_bytes("ki-build"));
+  auto files = generate_phi_collection(40, rng);
+  KeywordIndex ki = KeywordIndex::build(files, "server-1");
+  EXPECT_EQ(ki.sserver_id, "server-1");
+  EXPECT_EQ(ki.file_names.size(), files.size());
+  for (const auto& f : files) {
+    for (const std::string& kw : f.keywords) {
+      ASSERT_TRUE(ki.contains(kw));
+      const auto& ids = ki.entries.at(kw);
+      EXPECT_NE(std::find(ids.begin(), ids.end(), f.id), ids.end());
+    }
+  }
+}
+
+TEST(KeywordIndexTest, DictionaryListsEveryKeywordOnce) {
+  cipher::Drbg rng(to_bytes("ki-dict"));
+  auto files = generate_phi_collection(40, rng);
+  KeywordIndex ki = KeywordIndex::build(files, "s");
+  std::vector<std::string> dict = ki.dictionary();
+  std::set<std::string> uniq(dict.begin(), dict.end());
+  EXPECT_EQ(uniq.size(), dict.size());
+  EXPECT_EQ(dict.size(), ki.entries.size());
+  EXPECT_FALSE(ki.contains("not-a-keyword"));
+}
+
+TEST(KeywordIndexTest, SerializationRoundTrip) {
+  cipher::Drbg rng(to_bytes("ki-ser"));
+  auto files = generate_phi_collection(15, rng);
+  KeywordIndex ki = KeywordIndex::build(files, "server-x");
+  KeywordIndex back = KeywordIndex::from_bytes(ki.to_bytes());
+  EXPECT_EQ(back.sserver_id, ki.sserver_id);
+  EXPECT_EQ(back.entries, ki.entries);
+  EXPECT_EQ(back.file_names, ki.file_names);
+}
+
+TEST(MhiGenerator, SamplesAreOneHertz) {
+  cipher::Drbg rng(to_bytes("mhi-hz"));
+  MhiWindow w = generate_mhi_window("d", 10, rng);
+  for (size_t i = 1; i < w.samples.size(); ++i) {
+    EXPECT_EQ(w.samples[i].t_ns - w.samples[i - 1].t_ns, 1'000'000'000ull);
+  }
+}
+
+TEST(MhiGenerator, ZeroAnomalyRateProducesCleanWindow) {
+  cipher::Drbg rng(to_bytes("mhi-clean"));
+  MhiWindow w = generate_mhi_window("d", 500, rng, 0.0);
+  for (const MhiSample& s : w.samples) {
+    EXPECT_FALSE(s.anomaly);
+    EXPECT_GT(s.heart_rate_bpm, 50);
+    EXPECT_LT(s.heart_rate_bpm, 100);
+    EXPECT_GT(s.systolic_mmhg, s.diastolic_mmhg);
+  }
+}
+
+TEST(MhiGenerator, EmptyWindowSerializes) {
+  MhiWindow w;
+  w.day = "2011-01-01";
+  MhiWindow back = MhiWindow::from_bytes(w.to_bytes());
+  EXPECT_EQ(back.day, "2011-01-01");
+  EXPECT_TRUE(back.samples.empty());
+}
+
+}  // namespace
+}  // namespace hcpp::core

@@ -1,0 +1,114 @@
+// Parser robustness: every deserializer must reject arbitrary byte soup by
+// throwing or returning an error — never by crashing or accepting. This is
+// the defensive surface an untrusted network exposes.
+#include <gtest/gtest.h>
+
+#include "src/be/broadcast.h"
+#include "src/cipher/drbg.h"
+#include "src/core/messages.h"
+#include "src/core/record.h"
+#include "src/curve/params.h"
+#include "src/ibc/hibc.h"
+#include "src/ibc/ibe.h"
+#include "src/ibc/ibs.h"
+#include "src/peks/peks.h"
+#include "src/sse/adaptive.h"
+#include "src/sse/sse.h"
+
+namespace hcpp {
+namespace {
+
+const curve::CurveCtx& ctx() { return curve::params(curve::ParamSet::kTest); }
+
+// Every parser applied to one blob; none may crash, UB-trip or hang.
+void feed(BytesView blob) {
+  auto swallow = [](auto&& fn) {
+    try {
+      fn();
+    } catch (const std::exception&) {
+      // rejection is the expected outcome
+    }
+  };
+  swallow([&] { (void)curve::point_from_bytes(ctx(), blob); });
+  swallow([&] { (void)curve::point_from_bytes_compressed(ctx(), blob); });
+  swallow([&] { (void)ibc::IbeCiphertext::from_bytes(ctx(), blob); });
+  swallow([&] { (void)ibc::IbeCcaCiphertext::from_bytes(ctx(), blob); });
+  swallow([&] { (void)ibc::IbsSignature::from_bytes(ctx(), blob); });
+  swallow([&] { (void)ibc::HibcCiphertext::from_bytes(ctx(), blob); });
+  swallow([&] { (void)ibc::HibcSignature::from_bytes(ctx(), blob); });
+  swallow([&] { (void)peks::PeksCiphertext::from_bytes(ctx(), blob); });
+  swallow([&] { (void)peks::Trapdoor::from_bytes(ctx(), blob); });
+  swallow([&] { (void)sse::SecureIndex::from_bytes(blob); });
+  swallow([&] { (void)sse::EncryptedCollection::from_bytes(blob); });
+  swallow([&] { (void)sse::Keys::from_bytes(blob); });
+  swallow([&] { (void)sse::PlainFile::from_bytes(blob); });
+  swallow([&] { (void)sse::Trapdoor::from_bytes(blob); });
+  swallow([&] { (void)sse::adaptive::AdaptiveIndex::from_bytes(blob); });
+  swallow([&] { (void)sse::adaptive::AdaptiveTrapdoor::from_bytes(blob); });
+  swallow([&] { (void)be::MemberKeys::from_bytes(blob); });
+  swallow([&] { (void)core::KeywordIndex::from_bytes(blob); });
+  swallow([&] { (void)core::MhiWindow::from_bytes(blob); });
+  swallow([&] { (void)core::RdRecord::from_bytes(blob); });
+  swallow([&] { (void)core::StoreRequest::from_wire(blob); });
+  swallow([&] { (void)core::RetrieveRequest::from_wire(blob); });
+  swallow([&] { (void)core::RetrieveResponse::from_wire(blob); });
+}
+
+class RandomBlob : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomBlob, ParsersNeverCrash) {
+  cipher::Drbg rng(to_bytes("fuzz-" + std::to_string(GetParam())));
+  // A spread of sizes, including empty and "looks almost right" lengths.
+  for (size_t size : {0u, 1u, 4u, 8u, 16u, 60u, 64u, 65u, 129u, 512u}) {
+    feed(rng.bytes(size));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBlob, ::testing::Range(0, 8));
+
+TEST(TruncationFuzz, EveryPrefixOfValidEncodingsRejectsCleanly) {
+  cipher::Drbg rng(to_bytes("fuzz-trunc"));
+  ibc::Domain domain(ctx(), rng);
+  // Valid encodings of several types.
+  std::vector<Bytes> valid;
+  valid.push_back(
+      ibc::ibe_encrypt(domain.pub(), "id", to_bytes("m"), rng).to_bytes());
+  valid.push_back(
+      ibc::ibs_sign(ctx(), domain.extract("id"), "id", to_bytes("m"), rng)
+          .to_bytes());
+  valid.push_back(peks::peks_encrypt(domain.pub(), "r", "kw", rng).to_bytes());
+  sse::Keys keys = sse::Keys::generate(rng);
+  auto files = core::generate_phi_collection(4, rng);
+  valid.push_back(sse::build_index(files, keys, rng).to_bytes());
+  valid.push_back(keys.to_bytes());
+  for (const Bytes& enc : valid) {
+    // Chop at a sampling of prefixes, including off-by-one boundaries.
+    for (size_t cut = 0; cut < enc.size();
+         cut += std::max<size_t>(1, enc.size() / 23)) {
+      feed(BytesView(enc).subspan(0, cut));
+    }
+  }
+}
+
+TEST(MutationFuzz, BitFlippedEncodingsNeverCrash) {
+  cipher::Drbg rng(to_bytes("fuzz-flip"));
+  ibc::Domain domain(ctx(), rng);
+  Bytes enc =
+      ibc::ibe_encrypt(domain.pub(), "id", to_bytes("msg"), rng).to_bytes();
+  for (size_t i = 0; i < enc.size(); i += 3) {
+    Bytes mutated = enc;
+    mutated[i] ^= static_cast<uint8_t>(1 + (i % 255));
+    feed(mutated);
+    // If it still parses, decryption must reject rather than return junk.
+    try {
+      ibc::IbeCiphertext ct = ibc::IbeCiphertext::from_bytes(ctx(), mutated);
+      EXPECT_THROW((void)ibc::ibe_decrypt(ctx(), domain.extract("id"), ct),
+                   cipher::AuthError);
+    } catch (const std::exception&) {
+      // parse-time rejection also fine
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hcpp
