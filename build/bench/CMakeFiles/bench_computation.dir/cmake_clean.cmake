@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_computation.dir/bench_computation.cpp.o"
+  "CMakeFiles/bench_computation.dir/bench_computation.cpp.o.d"
+  "bench_computation"
+  "bench_computation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_computation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

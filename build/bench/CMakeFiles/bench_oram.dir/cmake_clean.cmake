@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oram.dir/bench_oram.cpp.o"
+  "CMakeFiles/bench_oram.dir/bench_oram.cpp.o.d"
+  "bench_oram"
+  "bench_oram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

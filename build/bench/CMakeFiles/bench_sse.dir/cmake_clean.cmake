@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sse.dir/bench_sse.cpp.o"
+  "CMakeFiles/bench_sse.dir/bench_sse.cpp.o.d"
+  "bench_sse"
+  "bench_sse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accountability_audit.dir/accountability_audit.cpp.o"
+  "CMakeFiles/accountability_audit.dir/accountability_audit.cpp.o.d"
+  "accountability_audit"
+  "accountability_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accountability_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

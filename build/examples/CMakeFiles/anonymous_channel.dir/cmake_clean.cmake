@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymous_channel.dir/anonymous_channel.cpp.o"
+  "CMakeFiles/anonymous_channel.dir/anonymous_channel.cpp.o.d"
+  "anonymous_channel"
+  "anonymous_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymous_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

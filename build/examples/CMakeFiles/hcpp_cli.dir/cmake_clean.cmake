@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcpp_cli.dir/hcpp_cli.cpp.o"
+  "CMakeFiles/hcpp_cli.dir/hcpp_cli.cpp.o.d"
+  "hcpp_cli"
+  "hcpp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcpp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

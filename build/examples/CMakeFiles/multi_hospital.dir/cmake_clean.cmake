@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_hospital.dir/multi_hospital.cpp.o"
+  "CMakeFiles/multi_hospital.dir/multi_hospital.cpp.o.d"
+  "multi_hospital"
+  "multi_hospital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_hospital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

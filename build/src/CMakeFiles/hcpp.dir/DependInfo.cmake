@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/leelee.cpp" "src/CMakeFiles/hcpp.dir/baseline/leelee.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/baseline/leelee.cpp.o.d"
+  "/root/repo/src/baseline/tan.cpp" "src/CMakeFiles/hcpp.dir/baseline/tan.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/baseline/tan.cpp.o.d"
+  "/root/repo/src/be/broadcast.cpp" "src/CMakeFiles/hcpp.dir/be/broadcast.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/be/broadcast.cpp.o.d"
+  "/root/repo/src/cipher/aead.cpp" "src/CMakeFiles/hcpp.dir/cipher/aead.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/cipher/aead.cpp.o.d"
+  "/root/repo/src/cipher/aes.cpp" "src/CMakeFiles/hcpp.dir/cipher/aes.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/cipher/aes.cpp.o.d"
+  "/root/repo/src/cipher/chacha20.cpp" "src/CMakeFiles/hcpp.dir/cipher/chacha20.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/cipher/chacha20.cpp.o.d"
+  "/root/repo/src/cipher/drbg.cpp" "src/CMakeFiles/hcpp.dir/cipher/drbg.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/cipher/drbg.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/hcpp.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/serialize.cpp" "src/CMakeFiles/hcpp.dir/common/serialize.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/common/serialize.cpp.o.d"
+  "/root/repo/src/core/accountability.cpp" "src/CMakeFiles/hcpp.dir/core/accountability.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/core/accountability.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/CMakeFiles/hcpp.dir/core/cluster.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/core/cluster.cpp.o.d"
+  "/root/repo/src/core/emergency.cpp" "src/CMakeFiles/hcpp.dir/core/emergency.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/core/emergency.cpp.o.d"
+  "/root/repo/src/core/entities.cpp" "src/CMakeFiles/hcpp.dir/core/entities.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/core/entities.cpp.o.d"
+  "/root/repo/src/core/messages.cpp" "src/CMakeFiles/hcpp.dir/core/messages.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/core/messages.cpp.o.d"
+  "/root/repo/src/core/mhi.cpp" "src/CMakeFiles/hcpp.dir/core/mhi.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/core/mhi.cpp.o.d"
+  "/root/repo/src/core/privilege.cpp" "src/CMakeFiles/hcpp.dir/core/privilege.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/core/privilege.cpp.o.d"
+  "/root/repo/src/core/record.cpp" "src/CMakeFiles/hcpp.dir/core/record.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/core/record.cpp.o.d"
+  "/root/repo/src/core/retrieval.cpp" "src/CMakeFiles/hcpp.dir/core/retrieval.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/core/retrieval.cpp.o.d"
+  "/root/repo/src/core/setup.cpp" "src/CMakeFiles/hcpp.dir/core/setup.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/core/setup.cpp.o.d"
+  "/root/repo/src/core/storage.cpp" "src/CMakeFiles/hcpp.dir/core/storage.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/core/storage.cpp.o.d"
+  "/root/repo/src/curve/ec.cpp" "src/CMakeFiles/hcpp.dir/curve/ec.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/curve/ec.cpp.o.d"
+  "/root/repo/src/curve/pairing.cpp" "src/CMakeFiles/hcpp.dir/curve/pairing.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/curve/pairing.cpp.o.d"
+  "/root/repo/src/curve/params.cpp" "src/CMakeFiles/hcpp.dir/curve/params.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/curve/params.cpp.o.d"
+  "/root/repo/src/field/fp.cpp" "src/CMakeFiles/hcpp.dir/field/fp.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/field/fp.cpp.o.d"
+  "/root/repo/src/field/fp2.cpp" "src/CMakeFiles/hcpp.dir/field/fp2.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/field/fp2.cpp.o.d"
+  "/root/repo/src/hash/hkdf.cpp" "src/CMakeFiles/hcpp.dir/hash/hkdf.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/hash/hkdf.cpp.o.d"
+  "/root/repo/src/hash/hmac.cpp" "src/CMakeFiles/hcpp.dir/hash/hmac.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/hash/hmac.cpp.o.d"
+  "/root/repo/src/hash/sha256.cpp" "src/CMakeFiles/hcpp.dir/hash/sha256.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/hash/sha256.cpp.o.d"
+  "/root/repo/src/ibc/domain.cpp" "src/CMakeFiles/hcpp.dir/ibc/domain.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/ibc/domain.cpp.o.d"
+  "/root/repo/src/ibc/hibc.cpp" "src/CMakeFiles/hcpp.dir/ibc/hibc.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/ibc/hibc.cpp.o.d"
+  "/root/repo/src/ibc/ibe.cpp" "src/CMakeFiles/hcpp.dir/ibc/ibe.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/ibc/ibe.cpp.o.d"
+  "/root/repo/src/ibc/ibs.cpp" "src/CMakeFiles/hcpp.dir/ibc/ibs.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/ibc/ibs.cpp.o.d"
+  "/root/repo/src/mp/mont.cpp" "src/CMakeFiles/hcpp.dir/mp/mont.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/mp/mont.cpp.o.d"
+  "/root/repo/src/mp/prime.cpp" "src/CMakeFiles/hcpp.dir/mp/prime.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/mp/prime.cpp.o.d"
+  "/root/repo/src/mp/u512.cpp" "src/CMakeFiles/hcpp.dir/mp/u512.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/mp/u512.cpp.o.d"
+  "/root/repo/src/oram/oram.cpp" "src/CMakeFiles/hcpp.dir/oram/oram.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/oram/oram.cpp.o.d"
+  "/root/repo/src/peks/peks.cpp" "src/CMakeFiles/hcpp.dir/peks/peks.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/peks/peks.cpp.o.d"
+  "/root/repo/src/prf/feistel.cpp" "src/CMakeFiles/hcpp.dir/prf/feistel.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/prf/feistel.cpp.o.d"
+  "/root/repo/src/prf/prf.cpp" "src/CMakeFiles/hcpp.dir/prf/prf.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/prf/prf.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/hcpp.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/onion.cpp" "src/CMakeFiles/hcpp.dir/sim/onion.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/sim/onion.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/hcpp.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sse/adaptive.cpp" "src/CMakeFiles/hcpp.dir/sse/adaptive.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/sse/adaptive.cpp.o.d"
+  "/root/repo/src/sse/sse.cpp" "src/CMakeFiles/hcpp.dir/sse/sse.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/sse/sse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

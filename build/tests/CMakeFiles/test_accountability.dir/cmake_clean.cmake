@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accountability.dir/test_accountability.cpp.o"
+  "CMakeFiles/test_accountability.dir/test_accountability.cpp.o.d"
+  "test_accountability"
+  "test_accountability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accountability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aliases.dir/test_aliases.cpp.o"
+  "CMakeFiles/test_aliases.dir/test_aliases.cpp.o.d"
+  "test_aliases"
+  "test_aliases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aliases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

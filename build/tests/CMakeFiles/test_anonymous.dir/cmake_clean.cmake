@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anonymous.dir/test_anonymous.cpp.o"
+  "CMakeFiles/test_anonymous.dir/test_anonymous.cpp.o.d"
+  "test_anonymous"
+  "test_anonymous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anonymous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_be.dir/test_be.cpp.o"
+  "CMakeFiles/test_be.dir/test_be.cpp.o.d"
+  "test_be"
+  "test_be.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_be.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

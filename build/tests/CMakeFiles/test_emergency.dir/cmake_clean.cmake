@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emergency.dir/test_emergency.cpp.o"
+  "CMakeFiles/test_emergency.dir/test_emergency.cpp.o.d"
+  "test_emergency"
+  "test_emergency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emergency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

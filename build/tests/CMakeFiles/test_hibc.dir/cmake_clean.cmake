@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hibc.dir/test_hibc.cpp.o"
+  "CMakeFiles/test_hibc.dir/test_hibc.cpp.o.d"
+  "test_hibc"
+  "test_hibc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hibc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

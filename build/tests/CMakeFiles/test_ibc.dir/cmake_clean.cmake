@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ibc.dir/test_ibc.cpp.o"
+  "CMakeFiles/test_ibc.dir/test_ibc.cpp.o.d"
+  "test_ibc"
+  "test_ibc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ibc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mhi.dir/test_mhi.cpp.o"
+  "CMakeFiles/test_mhi.dir/test_mhi.cpp.o.d"
+  "test_mhi"
+  "test_mhi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mhi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oram.dir/test_oram.cpp.o"
+  "CMakeFiles/test_oram.dir/test_oram.cpp.o.d"
+  "test_oram"
+  "test_oram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peks.dir/test_peks.cpp.o"
+  "CMakeFiles/test_peks.dir/test_peks.cpp.o.d"
+  "test_peks"
+  "test_peks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prf.dir/test_prf.cpp.o"
+  "CMakeFiles/test_prf.dir/test_prf.cpp.o.d"
+  "test_prf"
+  "test_prf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_production_params.dir/test_production_params.cpp.o"
+  "CMakeFiles/test_production_params.dir/test_production_params.cpp.o.d"
+  "test_production_params"
+  "test_production_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_production_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sse.dir/test_sse.cpp.o"
+  "CMakeFiles/test_sse.dir/test_sse.cpp.o.d"
+  "test_sse"
+  "test_sse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
