@@ -214,8 +214,8 @@ bench/CMakeFiles/bench_baseline.dir/bench_baseline.cpp.o: \
  /root/repo/src/../src/common/bytes.h /root/repo/src/../src/sim/network.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
- /root/repo/src/../src/sim/clock.h /root/repo/src/../src/sse/sse.h \
- /usr/include/c++/12/optional \
+ /root/repo/src/../src/cipher/drbg.h /root/repo/src/../src/sim/clock.h \
+ /root/repo/src/../src/sse/sse.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -230,7 +230,8 @@ bench/CMakeFiles/bench_baseline.dir/bench_baseline.cpp.o: \
  /root/repo/src/../src/curve/params.h /root/repo/src/../src/core/setup.h \
  /root/repo/src/../src/core/accountability.h \
  /root/repo/src/../src/core/entities.h \
- /root/repo/src/../src/be/broadcast.h /root/repo/src/../src/cipher/drbg.h \
+ /root/repo/src/../src/be/broadcast.h /root/repo/src/../src/core/errors.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/core/messages.h /root/repo/src/../src/ibc/ibs.h \
  /root/repo/src/../src/core/record.h /root/repo/src/../src/ibc/hibc.h \
  /root/repo/src/../src/peks/peks.h /root/repo/src/../src/core/privilege.h

@@ -213,7 +213,8 @@ bench/CMakeFiles/bench_protocols.dir/bench_protocols.cpp.o: \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /root/repo/src/../src/common/bytes.h \
  /root/repo/src/../src/common/serialize.h \
- /root/repo/src/../src/cipher/drbg.h \
+ /root/repo/src/../src/cipher/drbg.h /root/repo/src/../src/core/errors.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/core/messages.h /root/repo/src/../src/ibc/ibe.h \
  /root/repo/src/../src/cipher/aead.h /root/repo/src/../src/ibc/domain.h \
  /root/repo/src/../src/curve/pairing.h /root/repo/src/../src/curve/ec.h \

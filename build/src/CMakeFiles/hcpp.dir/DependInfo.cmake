@@ -50,6 +50,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/network.cpp" "src/CMakeFiles/hcpp.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/sim/network.cpp.o.d"
   "/root/repo/src/sim/onion.cpp" "src/CMakeFiles/hcpp.dir/sim/onion.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/sim/onion.cpp.o.d"
   "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/hcpp.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/transport.cpp" "src/CMakeFiles/hcpp.dir/sim/transport.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/sim/transport.cpp.o.d"
   "/root/repo/src/sse/adaptive.cpp" "src/CMakeFiles/hcpp.dir/sse/adaptive.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/sse/adaptive.cpp.o.d"
   "/root/repo/src/sse/sse.cpp" "src/CMakeFiles/hcpp.dir/sse/sse.cpp.o" "gcc" "src/CMakeFiles/hcpp.dir/sse/sse.cpp.o.d"
   )

@@ -210,8 +210,8 @@ src/CMakeFiles/hcpp.dir/baseline/tan.cpp.o: \
  /root/repo/src/../src/common/bytes.h /root/repo/src/../src/sim/network.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
- /root/repo/src/../src/sim/clock.h /root/repo/src/../src/sse/sse.h \
- /usr/include/c++/12/optional \
+ /root/repo/src/../src/cipher/drbg.h /root/repo/src/../src/sim/clock.h \
+ /root/repo/src/../src/sse/sse.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \

@@ -142,12 +142,13 @@ src/CMakeFiles/hcpp.dir/core/cluster.cpp.o: \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /root/repo/src/../src/common/bytes.h \
  /root/repo/src/../src/common/serialize.h \
- /root/repo/src/../src/cipher/drbg.h \
+ /root/repo/src/../src/cipher/drbg.h /root/repo/src/../src/core/errors.h \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/core/messages.h /root/repo/src/../src/ibc/ibe.h \
- /root/repo/src/../src/cipher/aead.h /usr/include/c++/12/stdexcept \
- /root/repo/src/../src/ibc/domain.h /root/repo/src/../src/curve/pairing.h \
- /root/repo/src/../src/curve/ec.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /root/repo/src/../src/cipher/aead.h /root/repo/src/../src/ibc/domain.h \
+ /root/repo/src/../src/curve/pairing.h /root/repo/src/../src/curve/ec.h \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \

@@ -143,7 +143,8 @@ src/CMakeFiles/hcpp.dir/core/mhi.cpp.o: /root/repo/src/core/mhi.cpp \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/../src/be/broadcast.h \
  /root/repo/src/../src/common/serialize.h \
- /root/repo/src/../src/cipher/drbg.h \
+ /root/repo/src/../src/cipher/drbg.h /root/repo/src/../src/core/errors.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/core/messages.h /root/repo/src/../src/ibc/ibe.h \
  /root/repo/src/../src/ibc/domain.h /root/repo/src/../src/curve/pairing.h \
  /root/repo/src/../src/curve/ec.h /usr/include/c++/12/memory \
@@ -228,4 +229,32 @@ src/CMakeFiles/hcpp.dir/core/mhi.cpp.o: /root/repo/src/core/mhi.cpp \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/../src/core/record.h /root/repo/src/../src/ibc/hibc.h \
  /root/repo/src/../src/peks/peks.h /root/repo/src/../src/sim/network.h \
- /root/repo/src/../src/sim/clock.h
+ /root/repo/src/../src/sim/clock.h /root/repo/src/../src/sim/transport.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h

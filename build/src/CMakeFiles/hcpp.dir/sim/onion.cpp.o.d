@@ -226,5 +226,5 @@ src/CMakeFiles/hcpp.dir/sim/onion.cpp.o: /root/repo/src/sim/onion.cpp \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
- /root/repo/src/../src/sim/clock.h \
+ /root/repo/src/../src/cipher/drbg.h /root/repo/src/../src/sim/clock.h \
  /root/repo/src/../src/common/serialize.h

@@ -300,7 +300,7 @@ tests/CMakeFiles/test_aliases.dir/test_aliases.cpp.o: \
  /root/repo/src/../src/common/random.h /usr/include/c++/12/span \
  /root/repo/src/../src/common/bytes.h \
  /root/repo/src/../src/common/serialize.h \
- /root/repo/src/../src/cipher/drbg.h \
+ /root/repo/src/../src/cipher/drbg.h /root/repo/src/../src/core/errors.h \
  /root/repo/src/../src/core/messages.h /root/repo/src/../src/ibc/ibe.h \
  /root/repo/src/../src/cipher/aead.h /root/repo/src/../src/ibc/domain.h \
  /root/repo/src/../src/curve/pairing.h /root/repo/src/../src/curve/ec.h \

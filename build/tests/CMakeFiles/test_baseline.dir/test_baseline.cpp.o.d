@@ -299,8 +299,8 @@ tests/CMakeFiles/test_baseline.dir/test_baseline.cpp.o: \
  /root/repo/src/../src/baseline/leelee.h \
  /root/repo/src/../src/common/random.h /usr/include/c++/12/span \
  /root/repo/src/../src/common/bytes.h /root/repo/src/../src/sim/network.h \
- /root/repo/src/../src/sim/clock.h /root/repo/src/../src/sse/sse.h \
- /root/repo/src/../src/common/serialize.h \
+ /root/repo/src/../src/cipher/drbg.h /root/repo/src/../src/sim/clock.h \
+ /root/repo/src/../src/sse/sse.h /root/repo/src/../src/common/serialize.h \
  /root/repo/src/../src/baseline/tan.h /root/repo/src/../src/ibc/ibe.h \
  /root/repo/src/../src/cipher/aead.h /root/repo/src/../src/ibc/domain.h \
  /root/repo/src/../src/curve/pairing.h /root/repo/src/../src/curve/ec.h \
@@ -311,7 +311,7 @@ tests/CMakeFiles/test_baseline.dir/test_baseline.cpp.o: \
  /root/repo/src/../src/curve/params.h /root/repo/src/../src/core/setup.h \
  /root/repo/src/../src/core/accountability.h \
  /root/repo/src/../src/core/entities.h \
- /root/repo/src/../src/be/broadcast.h /root/repo/src/../src/cipher/drbg.h \
+ /root/repo/src/../src/be/broadcast.h /root/repo/src/../src/core/errors.h \
  /root/repo/src/../src/core/messages.h /root/repo/src/../src/ibc/ibs.h \
  /root/repo/src/../src/core/record.h /root/repo/src/../src/ibc/hibc.h \
  /root/repo/src/../src/peks/peks.h /root/repo/src/../src/core/privilege.h

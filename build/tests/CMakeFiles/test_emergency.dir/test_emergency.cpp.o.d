@@ -302,7 +302,7 @@ tests/CMakeFiles/test_emergency.dir/test_emergency.cpp.o: \
  /root/repo/src/../src/common/random.h /usr/include/c++/12/span \
  /root/repo/src/../src/common/bytes.h \
  /root/repo/src/../src/common/serialize.h \
- /root/repo/src/../src/cipher/drbg.h \
+ /root/repo/src/../src/cipher/drbg.h /root/repo/src/../src/core/errors.h \
  /root/repo/src/../src/core/messages.h /root/repo/src/../src/ibc/ibe.h \
  /root/repo/src/../src/cipher/aead.h /root/repo/src/../src/ibc/domain.h \
  /root/repo/src/../src/curve/pairing.h /root/repo/src/../src/curve/ec.h \
@@ -316,4 +316,27 @@ tests/CMakeFiles/test_emergency.dir/test_emergency.cpp.o: \
  /root/repo/src/../src/sim/network.h /root/repo/src/../src/sim/clock.h \
  /root/repo/src/../src/core/setup.h \
  /root/repo/src/../src/core/accountability.h \
- /root/repo/src/../src/core/privilege.h
+ /root/repo/src/../src/core/privilege.h \
+ /root/repo/src/../src/sim/transport.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc

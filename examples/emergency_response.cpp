@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "src/core/setup.h"
+#include "src/sim/transport.h"
 
 using namespace hcpp;
 using namespace hcpp::core;
@@ -88,5 +89,34 @@ int main() {
               "holds %zu trace(s), patient alerted %d time(s)\n",
               d.pdevice->records().size(), d.aserver->traces().size(),
               d.pdevice->alert_count());
+
+  // --- The same rescue over a degraded network -------------------------------
+  // The ambulance's uplink is bad: 20% of messages vanish, 10% arrive twice.
+  // The retrying transport (seeded, so this run replays exactly) gets the
+  // family-based §IV.E.1 retrieval through anyway.
+  std::printf("\n== aftershock: family retrieval over a lossy link "
+              "(20%% loss, 10%% duplication) ==\n");
+  sim::FaultPlan plan;
+  plan.seed = 911;
+  plan.default_faults.drop = 0.20;
+  plan.default_faults.duplicate = 0.10;
+  d.net->set_fault_plan(plan);
+  d.net->transport().reset_stats();
+  Result<std::vector<sse::PlainFile>> rescue =
+      d.family->try_emergency_retrieve(*d.sserver, kws);
+  sim::DeliveryStats wire = d.net->transport().total();
+  if (!rescue.ok()) {
+    std::printf("family retrieval failed (%s) after %u attempts\n",
+                to_string(rescue.error().code), rescue.error().attempts);
+    return 1;
+  }
+  std::printf("family retrieved %zu file(s) despite the loss: %llu wire "
+              "attempts for %llu requests (%llu retries, %llu duplicates "
+              "suppressed)\n",
+              rescue.value().size(),
+              static_cast<unsigned long long>(wire.attempts),
+              static_cast<unsigned long long>(wire.requests),
+              static_cast<unsigned long long>(wire.retries),
+              static_cast<unsigned long long>(wire.duplicates_suppressed));
   return 0;
 }

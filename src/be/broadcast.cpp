@@ -80,8 +80,8 @@ Bytes BroadcastGroup::encrypt(BytesView payload, RandomSource& rng) const {
 std::optional<Bytes> decrypt(const MemberKeys& keys, BytesView ciphertext) {
   try {
     io::Reader r(ciphertext);
-    uint32_t n = r.u32();
-    for (uint32_t i = 0; i < n; ++i) {
+    size_t n = r.count32(12);  // each slot: u64 node + u32 length prefix
+    for (size_t i = 0; i < n; ++i) {
       uint64_t node = r.u64();
       Bytes blob = r.bytes();
       for (const auto& [path_node, key] : keys.path_keys) {
@@ -111,8 +111,9 @@ MemberKeys MemberKeys::from_bytes(BytesView b) {
   io::Reader r(b);
   MemberKeys mk;
   mk.index = r.u64();
-  uint32_t n = r.u32();
-  for (uint32_t i = 0; i < n; ++i) {
+  size_t n = r.count32(12);  // each key: u64 node + u32 length prefix
+  mk.path_keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
     uint64_t node = r.u64();
     mk.path_keys.emplace_back(node, r.bytes());
   }

@@ -65,6 +65,22 @@ std::string Reader::str() {
   return std::string(b.begin(), b.end());
 }
 
+size_t Reader::count32(size_t min_elem_bytes) {
+  return checked_count(u32(), min_elem_bytes);
+}
+
+size_t Reader::count64(size_t min_elem_bytes) {
+  return checked_count(u64(), min_elem_bytes);
+}
+
+size_t Reader::checked_count(uint64_t n, size_t min_elem_bytes) const {
+  const size_t per_elem = min_elem_bytes == 0 ? 1 : min_elem_bytes;
+  if (n > remaining() / per_elem) {
+    throw std::out_of_range("Reader: element count exceeds available bytes");
+  }
+  return static_cast<size_t>(n);
+}
+
 Bytes Reader::raw(size_t n) {
   need(n);
   Bytes out(buf_.begin() + static_cast<ptrdiff_t>(pos_),

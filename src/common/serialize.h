@@ -43,12 +43,20 @@ class Reader {
   Bytes bytes();
   std::string str();
   Bytes raw(size_t n);
+  /// Element count (u32/u64 prefix) validated against the bytes still
+  /// available: each element consumes at least `min_elem_bytes` of input, so
+  /// a count promising more elements than the buffer could hold is rejected
+  /// here — before any caller reserve()/resize() turns an attacker-chosen
+  /// length into a giant allocation.
+  size_t count32(size_t min_elem_bytes = 1);
+  size_t count64(size_t min_elem_bytes = 1);
 
   [[nodiscard]] bool done() const noexcept { return pos_ == buf_.size(); }
   [[nodiscard]] size_t remaining() const noexcept { return buf_.size() - pos_; }
 
  private:
   void need(size_t n) const;
+  size_t checked_count(uint64_t n, size_t min_elem_bytes) const;
   BytesView buf_;
   size_t pos_ = 0;
 };

@@ -6,7 +6,8 @@ namespace hcpp::core {
 
 AServerCluster::AServerCluster(sim::Network& net, const curve::CurveCtx& ctx,
                                const std::string& base_id, size_t replicas,
-                               RandomSource& seed) {
+                               RandomSource& seed)
+    : net_(&net) {
   if (replicas == 0) {
     throw std::invalid_argument("AServerCluster: need at least one office");
   }
@@ -21,7 +22,10 @@ AServerCluster::AServerCluster(sim::Network& net, const curve::CurveCtx& ctx,
   up_.assign(replicas, true);
 }
 
-void AServerCluster::set_up(size_t i, bool up) { up_.at(i) = up; }
+void AServerCluster::set_up(size_t i, bool up) {
+  up_.at(i) = up;
+  net_->set_node_up(replicas_[i]->id(), up);
+}
 
 void AServerCluster::set_on_duty(const std::string& physician_id,
                                  bool on_duty) {
@@ -42,6 +46,44 @@ std::vector<TraceRecord> AServerCluster::all_traces() const {
                replica->traces().end());
   }
   return out;
+}
+
+// ---- SServerGroup ----------------------------------------------------------
+
+SServerGroup::SServerGroup(sim::Network& net, const AServer& authority,
+                           const std::string& service_id, size_t replicas)
+    : net_(&net), service_id_(service_id) {
+  if (replicas == 0) {
+    throw std::invalid_argument("SServerGroup: need at least one replica");
+  }
+  for (size_t i = 0; i < replicas; ++i) {
+    replicas_.push_back(std::make_unique<SServer>(
+        net, authority, service_id + "-" + std::to_string(i), service_id));
+  }
+  up_.assign(replicas, true);
+}
+
+void SServerGroup::set_up(size_t i, bool up) {
+  up_.at(i) = up;
+  net_->set_node_up(replicas_[i]->id(), up);
+}
+
+bool SServerGroup::sync_replicas() {
+  SServer* source = nullptr;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (up_[i]) {
+      source = replicas_[i].get();
+      break;
+    }
+  }
+  if (source == nullptr) return false;
+  Bytes state = source->export_state();
+  bool ok = true;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (!up_[i] || replicas_[i].get() == source) continue;
+    ok &= replicas_[i]->import_state(state);
+  }
+  return ok;
 }
 
 }  // namespace hcpp::core

@@ -4,6 +4,12 @@
 // master secret, mirrored on-duty registry — of which any reachable one can
 // run the emergency authentication. The physician "calls the toll-free
 // number" of the next office when one is down.
+//
+// SServerGroup applies the same treatment to the hospital storage tier: a
+// set of S-server replicas sharing one *service identity* (so every client's
+// pairwise key ν works against any of them) whose encrypted collections are
+// mirrored on upload and re-synced after an outage. Reads fail over to the
+// next replica when the transport gives up on one.
 #pragma once
 
 #include "src/core/entities.h"
@@ -20,7 +26,8 @@ class AServerCluster {
   [[nodiscard]] size_t size() const noexcept { return replicas_.size(); }
   [[nodiscard]] AServer& replica(size_t i) { return *replicas_.at(i); }
 
-  /// Simulated outage control.
+  /// Simulated outage control. Also marks the office down on the network, so
+  /// transport-routed requests to it time out instead of being served.
   void set_up(size_t i, bool up);
   [[nodiscard]] bool is_up(size_t i) const { return up_.at(i); }
 
@@ -28,13 +35,51 @@ class AServerCluster {
   void set_on_duty(const std::string& physician_id, bool on_duty);
 
   /// First reachable office, or nullptr if the attacker downed them all.
+  ///
+  /// DEPRECATED: manual polling predates the retrying transport. Callers
+  /// should let Physician::request_passcode(AServerCluster&, …) fail over
+  /// automatically; this remains only for the legacy path and its test.
   [[nodiscard]] AServer* first_available();
 
   /// Union of all offices' TR logs (for audits spanning a failover).
   [[nodiscard]] std::vector<TraceRecord> all_traces() const;
 
  private:
+  sim::Network* net_;
   std::vector<std::unique_ptr<AServer>> replicas_;
+  std::vector<bool> up_;
+};
+
+// ---------------------------------------------------------------------------
+/// Replicated hospital storage. Every replica holds Γ_S for the shared
+/// `service_id` (clients derive ν against that identity) but keeps its own
+/// instance id ("<service_id>-<i>") for addressing and replay caching.
+/// Writes are mirrored by the client-side fan-out in Patient::store_phi /
+/// revoke_member(SServerGroup&); reads fail over replica-by-replica.
+class SServerGroup {
+ public:
+  SServerGroup(sim::Network& net, const AServer& authority,
+               const std::string& service_id, size_t replicas);
+
+  [[nodiscard]] const std::string& service_id() const noexcept {
+    return service_id_;
+  }
+  [[nodiscard]] size_t size() const noexcept { return replicas_.size(); }
+  [[nodiscard]] SServer& replica(size_t i) { return *replicas_.at(i); }
+
+  /// Simulated outage control, mirrored to the network substrate.
+  void set_up(size_t i, bool up);
+  [[nodiscard]] bool is_up(size_t i) const { return up_.at(i); }
+
+  /// Recovery: copies the authoritative state (first up replica's export)
+  /// onto every other up replica — the catch-up a real mirror would run
+  /// after an outage. Returns false when no replica is up.
+  bool sync_replicas();
+
+ private:
+  sim::Network* net_;
+  std::string service_id_;
+  std::vector<std::unique_ptr<SServer>> replicas_;
   std::vector<bool> up_;
 };
 

@@ -11,11 +11,18 @@
 // one-time passcode under E'_ϖ and simultaneously pushes it to the P-device
 // under IBE_TPp; the physician types (ID, nonce) into the device, which then
 // runs the same privileged retrieval and logs an RD record.
+//
+// All exchanges ride the retrying transport: an ambulance on a lossy link
+// retries with backoff instead of failing the rescue, and replicated
+// deployments (SServerGroup / AServerCluster) fail over to the next office
+// when one times out.
 #include <algorithm>
 #include <set>
 
 #include "src/cipher/aead.h"
+#include "src/core/cluster.h"
 #include "src/core/entities.h"
+#include "src/sim/transport.h"
 
 namespace hcpp::core {
 
@@ -26,29 +33,46 @@ constexpr const char* kPrivLabel = "emergency-privileged-retrieval";
 constexpr const char* kAuthLabel = "emergency-auth";
 
 /// Messages 1–4 of the family-based approach, shared by Family and PDevice.
-std::vector<sse::PlainFile> privileged_retrieve(
+/// Two transport-routed rounds; under no faults this is exactly the paper's
+/// four messages.
+Result<std::vector<sse::PlainFile>> privileged_retrieve(
     sim::Network& net, const std::string& actor, SServer& server,
     const PrivilegeBundle& pb, std::span<const std::string> keywords) {
-  // Round 1: fetch the current broadcast-encrypted d.
+  // Round 1 (messages 1–2): fetch the current broadcast-encrypted d.
   BeBlobRequest req1;
   req1.tp = pb.tp;
   req1.collection = pb.collection;
   req1.t = net.clock().now();
   req1.mac = protocol_mac(pb.nu, kBeLabel, req1.body(), req1.t);
-  net.transmit(actor, server.id(), req1.wire_size(), kBeLabel);
-  std::optional<BeBlobResponse> resp1 = server.handle_be_request(req1);
-  if (!resp1.has_value()) return {};
-  net.transmit(server.id(), actor, resp1->wire_size(), kBeLabel);
-  if (!protocol_mac_ok(pb.nu, kBeLabel, resp1->body(), resp1->t,
-                       resp1->mac)) {
-    return {};
+  sim::CallOutcome<BeBlobResponse> out1 =
+      net.transport().request<BeBlobResponse>(
+          actor, server.id(), req1.wire_size(), req1.mac, kBeLabel,
+          [&]() { return server.handle_be_request(req1); },
+          [](const BeBlobResponse& r) { return r.wire_size(); });
+  if (out1.status == sim::CallStatus::kExhausted) {
+    return transient_error(ErrorCode::kTimeout, out1.attempts,
+                           "BE-blob request undelivered after retries");
   }
-  std::optional<Bytes> d = be::decrypt(pb.member_keys, resp1->be_blob);
-  if (!d.has_value()) return {};  // revoked: not in the current cover
+  if (out1.status == sim::CallStatus::kRejected) {
+    return permanent_error(ErrorCode::kRejected, out1.attempts,
+                           "S-server refused the BE-blob request");
+  }
+  const BeBlobResponse& resp1 = *out1.response;
+  if (!protocol_mac_ok(pb.nu, kBeLabel, resp1.body(), resp1.t, resp1.mac)) {
+    return permanent_error(ErrorCode::kBadResponse, out1.attempts,
+                           "BE-blob response failed authentication");
+  }
+  std::optional<Bytes> d = be::decrypt(pb.member_keys, resp1.be_blob);
+  if (!d.has_value()) {
+    // Not in the current broadcast cover: this member was revoked. No retry
+    // or failover can help — every replica will serve the same BE_{U'}(d).
+    return permanent_error(ErrorCode::kRevoked, out1.attempts,
+                           "member keys outside the current BE cover");
+  }
 
-  // Round 2: θ_d-wrapped trapdoors. The privileged entity has no rotation
-  // state, so it derives the alias slot from the timestamp — successive
-  // emergencies still spread across aliases (§VI.B).
+  // Round 2 (messages 3–4): θ_d-wrapped trapdoors. The privileged entity has
+  // no rotation state, so it derives the alias slot from the timestamp —
+  // successive emergencies still spread across aliases (§VI.B).
   PrivilegedRetrieveRequest req2;
   req2.tp = pb.tp;
   req2.collection = pb.collection;
@@ -60,17 +84,27 @@ std::vector<sse::PlainFile> privileged_retrieve(
   }
   req2.t = net.clock().now();
   req2.mac = protocol_mac(pb.nu, kPrivLabel, req2.body(), req2.t);
-  net.transmit(actor, server.id(), req2.wire_size(), kPrivLabel);
-  std::optional<RetrieveResponse> resp2 =
-      server.handle_privileged_retrieve(req2);
-  if (!resp2.has_value()) return {};
-  net.transmit(server.id(), actor, resp2->wire_size(), kPrivLabel);
-  if (!protocol_mac_ok(pb.nu, kPrivLabel, resp2->body(), resp2->t,
-                       resp2->mac)) {
-    return {};
+  sim::CallOutcome<RetrieveResponse> out2 =
+      net.transport().request<RetrieveResponse>(
+          actor, server.id(), req2.wire_size(), req2.mac, kPrivLabel,
+          [&]() { return server.handle_privileged_retrieve(req2); },
+          [](const RetrieveResponse& r) { return r.wire_size(); });
+  uint32_t attempts = out1.attempts + out2.attempts;
+  if (out2.status == sim::CallStatus::kExhausted) {
+    return transient_error(ErrorCode::kTimeout, attempts,
+                           "privileged retrieval undelivered after retries");
+  }
+  if (out2.status == sim::CallStatus::kRejected) {
+    return permanent_error(ErrorCode::kRejected, attempts,
+                           "S-server refused the privileged retrieval");
+  }
+  const RetrieveResponse& resp2 = *out2.response;
+  if (!protocol_mac_ok(pb.nu, kPrivLabel, resp2.body(), resp2.t, resp2.mac)) {
+    return permanent_error(ErrorCode::kBadResponse, attempts,
+                           "privileged response failed authentication");
   }
   std::vector<sse::PlainFile> out;
-  for (const auto& [id, blob] : resp2->files) {
+  for (const auto& [id, blob] : resp2.files) {
     try {
       out.push_back(sse::decrypt_file(pb.keys, blob));
     } catch (const std::exception&) {
@@ -78,6 +112,23 @@ std::vector<sse::PlainFile> privileged_retrieve(
     }
   }
   return out;
+}
+
+/// Read failover (§VI.D): the same retrieval tried replica-by-replica;
+/// transient failures (timeouts, partitions, downed offices) move on, while
+/// permanent outcomes — rejection, revocation — end the search immediately.
+Result<std::vector<sse::PlainFile>> privileged_retrieve_failover(
+    sim::Network& net, const std::string& actor, SServerGroup& group,
+    const PrivilegeBundle& pb, std::span<const std::string> keywords) {
+  uint32_t attempts = 0;
+  for (size_t i = 0; i < group.size(); ++i) {
+    Result<std::vector<sse::PlainFile>> r =
+        privileged_retrieve(net, actor, group.replica(i), pb, keywords);
+    if (r.ok() || !r.error().transient()) return r;
+    attempts += r.error().attempts;
+  }
+  return transient_error(ErrorCode::kUnreachable, attempts,
+                         "no storage replica answered the emergency");
 }
 
 }  // namespace
@@ -143,10 +194,27 @@ std::optional<RetrieveResponse> SServer::handle_privileged_retrieve(
 
 // ---- Family ------------------------------------------------------------------
 
+Result<std::vector<sse::PlainFile>> Family::try_emergency_retrieve(
+    SServer& server, std::span<const std::string> keywords) {
+  if (!bundle_.has_value()) {
+    return permanent_error(ErrorCode::kPrecondition, 0,
+                           "family member holds no privilege bundle");
+  }
+  return privileged_retrieve(*net_, name_, server, *bundle_, keywords);
+}
+
 std::vector<sse::PlainFile> Family::emergency_retrieve(
     SServer& server, std::span<const std::string> keywords) {
-  if (!bundle_.has_value()) return {};
-  return privileged_retrieve(*net_, name_, server, *bundle_, keywords);
+  return try_emergency_retrieve(server, keywords).value_or({});
+}
+
+Result<std::vector<sse::PlainFile>> Family::emergency_retrieve(
+    SServerGroup& group, std::span<const std::string> keywords) {
+  if (!bundle_.has_value()) {
+    return permanent_error(ErrorCode::kPrecondition, 0,
+                           "family member holds no privilege bundle");
+  }
+  return privileged_retrieve_failover(*net_, name_, group, *bundle_, keywords);
 }
 
 // ---- A-server: emergency authentication (§IV.E.2 steps 1–3) -------------------
@@ -216,7 +284,7 @@ std::optional<AServer::EmergencyAuthOutcome> AServer::handle_emergency_auth(
 
 // ---- Physician -----------------------------------------------------------------
 
-std::optional<Physician::PasscodeResult> Physician::request_passcode(
+Result<Physician::PasscodeResult> Physician::try_request_passcode(
     AServer& authority, BytesView patient_tp) {
   EmergencyAuthRequest req;
   req.physician_id = id_;
@@ -224,15 +292,26 @@ std::optional<Physician::PasscodeResult> Physician::request_passcode(
   req.t = net_->clock().now();
   req.sig = ibc::ibs_sign(*ctx_, private_key_, id_, req.body(), rng_)
                 .to_bytes();
-  net_->transmit(id_, authority.id(), req.wire_size(), kAuthLabel);
 
-  std::optional<AServer::EmergencyAuthOutcome> outcome =
-      authority.handle_emergency_auth(req);
-  if (!outcome.has_value()) return std::nullopt;
-  // Steps 2 and 3 "take place simultaneously".
-  net_->transmit(authority.id(), id_, outcome->to_physician.wire_size(),
-                 kAuthLabel);
-  net_->transmit(authority.id(), "p-device", outcome->to_pdevice.wire_size(),
+  sim::CallOutcome<AServer::EmergencyAuthOutcome> out =
+      net_->transport().request<AServer::EmergencyAuthOutcome>(
+          id_, authority.id(), req.wire_size(), req.sig, kAuthLabel,
+          [&]() { return authority.handle_emergency_auth(req); },
+          [](const AServer::EmergencyAuthOutcome& o) {
+            return o.to_physician.wire_size();
+          });
+  if (out.status == sim::CallStatus::kExhausted) {
+    return transient_error(ErrorCode::kTimeout, out.attempts,
+                           "A-server unreachable for emergency auth");
+  }
+  if (out.status == sim::CallStatus::kRejected) {
+    return permanent_error(ErrorCode::kRejected, out.attempts,
+                           "A-server refused the emergency authentication");
+  }
+  AServer::EmergencyAuthOutcome& outcome = *out.response;
+  // Step 3 "takes place simultaneously": the A-server's push to the
+  // P-device, charged as the protocol's third message.
+  net_->transmit(authority.id(), "p-device", outcome.to_pdevice.wire_size(),
                  kAuthLabel);
 
   // Verify the answering office's signature before trusting the passcode.
@@ -240,19 +319,48 @@ std::optional<Physician::PasscodeResult> Physician::request_passcode(
   // authority) so that any §VI.D replica can serve the request.
   try {
     ibc::IbsSignature sig = ibc::IbsSignature::from_bytes(
-        *ctx_, outcome->to_physician.sig);
+        *ctx_, outcome.to_physician.sig);
     if (!ibc::ibs_verify(authority.pub(), authority.id(),
-                         outcome->to_physician.body(id_, req.tp), sig)) {
-      return std::nullopt;
+                         outcome.to_physician.body(id_, req.tp), sig)) {
+      return permanent_error(ErrorCode::kBadResponse, out.attempts,
+                             "office signature failed verification");
     }
     Bytes varpi =
         ibc::shared_key_with_id(*ctx_, private_key_, authority.id());
     Bytes nonce =
-        cipher::aead_decrypt(varpi, outcome->to_physician.enc_nonce, {});
-    return PasscodeResult{std::move(nonce), std::move(outcome->to_pdevice)};
+        cipher::aead_decrypt(varpi, outcome.to_physician.enc_nonce, {});
+    return PasscodeResult{std::move(nonce), std::move(outcome.to_pdevice)};
   } catch (const std::exception&) {
-    return std::nullopt;
+    return permanent_error(ErrorCode::kBadResponse, out.attempts,
+                           "passcode message failed to decrypt");
   }
+}
+
+std::optional<Physician::PasscodeResult> Physician::request_passcode(
+    AServer& authority, BytesView patient_tp) {
+  Result<PasscodeResult> r = try_request_passcode(authority, patient_tp);
+  if (!r.ok()) return std::nullopt;
+  return std::move(r.value());
+}
+
+Result<Physician::PasscodeResult> Physician::request_passcode(
+    AServerCluster& cluster, BytesView patient_tp, size_t* serving_office) {
+  // §VI.D automatic failover: dial the next local office when one times out.
+  // Permanent refusals (not on duty, bad signature) are authoritative — every
+  // office shares the registry, so trying another cannot change the answer.
+  uint32_t attempts = 0;
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    Result<PasscodeResult> r =
+        try_request_passcode(cluster.replica(i), patient_tp);
+    if (r.ok()) {
+      if (serving_office != nullptr) *serving_office = i;
+      return r;
+    }
+    if (!r.error().transient()) return r;
+    attempts += r.error().attempts;
+  }
+  return transient_error(ErrorCode::kUnreachable, attempts,
+                         "every local A-server office timed out");
 }
 
 // ---- P-device ---------------------------------------------------------------
@@ -303,9 +411,12 @@ bool PDevice::enter_passcode(const std::string& physician_id,
   return ok;
 }
 
-std::vector<sse::PlainFile> PDevice::emergency_retrieve(
+Result<std::vector<sse::PlainFile>> PDevice::try_emergency_retrieve(
     SServer& server, std::span<const std::string> keywords) {
-  if (!session_physician_.has_value() || !bundle_.has_value()) return {};
+  if (!session_physician_.has_value() || !bundle_.has_value()) {
+    return permanent_error(ErrorCode::kPrecondition, 0,
+                           "no passcode session open on the P-device");
+  }
   // §VI.A countermeasure: accessing the retrieval secrets alerts the
   // patient's phone.
   ++alerts_;
@@ -315,15 +426,43 @@ std::vector<sse::PlainFile> PDevice::emergency_retrieve(
   for (const std::string& kw : keywords) {
     if (bundle_->ki.contains(kw)) valid.push_back(kw);
   }
-  std::vector<sse::PlainFile> files;
+  Result<std::vector<sse::PlainFile>> result{std::vector<sse::PlainFile>{}};
   if (!valid.empty()) {
-    files = privileged_retrieve(*net_, id_, server, *bundle_, valid);
+    result = privileged_retrieve(*net_, id_, server, *bundle_, valid);
   }
-  // RD: record which physician searched what (§IV.E.2).
+  // RD: record which physician searched what (§IV.E.2) — kept even when the
+  // network failed the retrieval, because the secrets were touched.
   rd_log_.push_back({*session_physician_, bundle_->tp, valid, session_t11_,
                      session_aserver_sig_});
   session_physician_.reset();  // one retrieval per passcode session
-  return files;
+  return result;
+}
+
+std::vector<sse::PlainFile> PDevice::emergency_retrieve(
+    SServer& server, std::span<const std::string> keywords) {
+  return try_emergency_retrieve(server, keywords).value_or({});
+}
+
+Result<std::vector<sse::PlainFile>> PDevice::emergency_retrieve(
+    SServerGroup& group, std::span<const std::string> keywords) {
+  if (!session_physician_.has_value() || !bundle_.has_value()) {
+    return permanent_error(ErrorCode::kPrecondition, 0,
+                           "no passcode session open on the P-device");
+  }
+  ++alerts_;
+  std::vector<std::string> valid;
+  for (const std::string& kw : keywords) {
+    if (bundle_->ki.contains(kw)) valid.push_back(kw);
+  }
+  Result<std::vector<sse::PlainFile>> result{std::vector<sse::PlainFile>{}};
+  if (!valid.empty()) {
+    result =
+        privileged_retrieve_failover(*net_, id_, group, *bundle_, valid);
+  }
+  rd_log_.push_back({*session_physician_, bundle_->tp, valid, session_t11_,
+                     session_aserver_sig_});
+  session_physician_.reset();
+  return result;
 }
 
 }  // namespace hcpp::core

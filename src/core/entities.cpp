@@ -58,11 +58,13 @@ bool AServer::is_on_duty(const std::string& physician_id) const {
 
 // ---- SServer ---------------------------------------------------------------
 
-SServer::SServer(sim::Network& net, const AServer& authority, std::string id)
+SServer::SServer(sim::Network& net, const AServer& authority, std::string id,
+                 std::string service_id)
     : net_(&net),
       id_(std::move(id)),
+      service_id_(service_id.empty() ? id_ : std::move(service_id)),
       ctx_(&authority.ctx()),
-      self_key_(authority.provision(id_)) {}
+      self_key_(authority.provision(service_id_)) {}
 
 std::string SServer::account_key(BytesView tp, const std::string& collection) {
   return hex_encode(tp) + "/" + collection;
@@ -122,8 +124,8 @@ bool SServer::import_state(BytesView state) {
     io::Reader r(state);
     if (r.u8() != kStateFormatVersion) return false;
     std::map<std::string, Account> accounts;
-    uint32_t n = r.u32();
-    for (uint32_t i = 0; i < n; ++i) {
+    size_t n = r.count32(20);  // each account: five u32 length prefixes
+    for (size_t i = 0; i < n; ++i) {
       std::string key = r.str();
       Account acct;
       acct.index = sse::SecureIndex::from_bytes(r.bytes());
@@ -133,12 +135,12 @@ bool SServer::import_state(BytesView state) {
       accounts.emplace(std::move(key), std::move(acct));
     }
     std::vector<MhiEntry> mhi;
-    uint32_t m = r.u32();
-    for (uint32_t i = 0; i < m; ++i) {
+    size_t m = r.count32(12);  // each entry: three u32 prefixes
+    for (size_t i = 0; i < m; ++i) {
       MhiEntry e;
       e.role_id = r.str();
-      uint32_t tags = r.u32();
-      for (uint32_t t = 0; t < tags; ++t) {
+      size_t tags = r.count32(4);  // each tag: u32 length prefix
+      for (size_t t = 0; t < tags; ++t) {
         e.tags.push_back(peks::PeksCiphertext::from_bytes(*ctx_, r.bytes()));
       }
       e.ibe_blob = r.bytes();

@@ -17,6 +17,7 @@
 
 #include "src/be/broadcast.h"
 #include "src/cipher/drbg.h"
+#include "src/core/errors.h"
 #include "src/core/messages.h"
 #include "src/core/record.h"
 #include "src/ibc/domain.h"
@@ -31,6 +32,8 @@ class OnionNetwork;
 namespace hcpp::core {
 
 class SServer;
+class SServerGroup;   // cluster.h — replicated hospital storage (§VI.D)
+class AServerCluster;  // cluster.h — replicated state authority (§VI.D)
 
 // ---------------------------------------------------------------------------
 /// State A-server: trusted government authority (§III.A). Owns the IBC
@@ -100,9 +103,17 @@ class AServer {
 /// answers searches without learning keywords, contents, or ownership.
 class SServer {
  public:
-  SServer(sim::Network& net, const AServer& authority, std::string id);
+  /// `service_id` is the identity whose Γ_S this server holds for deriving
+  /// pairwise keys (ν, ρ). It defaults to `id`; replicas in an SServerGroup
+  /// share one service identity while keeping distinct instance ids for
+  /// addressing and replay caching, so any replica can serve any client.
+  SServer(sim::Network& net, const AServer& authority, std::string id,
+          std::string service_id = {});
 
   [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& service_id() const noexcept {
+    return service_id_;
+  }
   [[nodiscard]] sim::Network& net() const noexcept { return *net_; }
 
   // §IV.B — accepts (SI, Λ) plus the privilege material.
@@ -161,8 +172,9 @@ class SServer {
 
   sim::Network* net_;
   std::string id_;
+  std::string service_id_;
   const curve::CurveCtx* ctx_;
-  curve::Point self_key_;  // Γ_S
+  curve::Point self_key_;  // Γ_S (for service_id_)
   std::map<std::string, Account> accounts_;
   std::vector<MhiEntry> mhi_store_;
 };
@@ -215,10 +227,22 @@ class Patient {
 
   /// §IV.B: build SI + KI on the home PC and upload (SI, Λ, d, BE_U(d)).
   bool store_phi(SServer& server);
+  /// Typed variant: routed through the retrying transport, distinguishing
+  /// transient delivery failure from authoritative rejection.
+  Result<void> try_store_phi(SServer& server);
+  /// Replicated upload: mirrors the collection onto every reachable replica.
+  /// Succeeds — returning how many replicas accepted — when at least one did.
+  Result<size_t> store_phi(SServerGroup& group);
 
   /// §IV.D: one-round keyword retrieval; decrypts Λ(kw) on the cell phone.
   [[nodiscard]] std::vector<sse::PlainFile> retrieve(
       SServer& server, std::span<const std::string> keywords);
+  Result<std::vector<sse::PlainFile>> try_retrieve(
+      SServer& server, std::span<const std::string> keywords);
+  /// Read failover (§VI.D): tries replicas in order until one answers;
+  /// transient per-replica failures move on to the next office.
+  Result<std::vector<sse::PlainFile>> retrieve(
+      SServerGroup& group, std::span<const std::string> keywords);
 
   // §VI.B countermeasure: the same two protocols carried over the anonymous
   // onion overlay, so the S-server (and any network observer past the entry
@@ -235,6 +259,11 @@ class Patient {
 
   /// §IV.C REVOKE: re-key d, re-broadcast, update the S-server.
   bool revoke_member(SServer& server, size_t slot);
+  Result<void> try_revoke_member(SServer& server, size_t slot);
+  /// Replicated REVOKE: one re-keying fanned out to every reachable replica
+  /// (returns how many applied it; fails if none did — the patient should
+  /// retry, since a stale replica would still honor revoked trapdoors).
+  Result<size_t> revoke_member(SServerGroup& group, size_t slot);
 
   [[nodiscard]] const ibc::Domain::Pseudonym& pseudonym() const noexcept {
     return pseudonym_;
@@ -290,6 +319,11 @@ class Family {
   /// when no keyword matches.
   [[nodiscard]] std::vector<sse::PlainFile> emergency_retrieve(
       SServer& server, std::span<const std::string> keywords);
+  Result<std::vector<sse::PlainFile>> try_emergency_retrieve(
+      SServer& server, std::span<const std::string> keywords);
+  /// Read failover across a replicated hospital (§VI.D).
+  Result<std::vector<sse::PlainFile>> emergency_retrieve(
+      SServerGroup& group, std::span<const std::string> keywords);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
@@ -333,6 +367,11 @@ class PDevice {
   /// 4-message exchange, RD record appended. Requires an open session.
   [[nodiscard]] std::vector<sse::PlainFile> emergency_retrieve(
       SServer& server, std::span<const std::string> keywords);
+  Result<std::vector<sse::PlainFile>> try_emergency_retrieve(
+      SServer& server, std::span<const std::string> keywords);
+  /// Read failover across a replicated hospital (§VI.D).
+  Result<std::vector<sse::PlainFile>> emergency_retrieve(
+      SServerGroup& group, std::span<const std::string> keywords);
 
   // ---- MHI (§IV.E.2) ----
   void collect_mhi(MhiWindow window);
@@ -344,6 +383,9 @@ class PDevice {
   bool store_mhi(const AServer& authority, SServer& server,
                  const std::string& role_id,
                  std::span<const std::string> extra_keywords);
+  Result<void> try_store_mhi(const AServer& authority, SServer& server,
+                             const std::string& role_id,
+                             std::span<const std::string> extra_keywords);
 
   [[nodiscard]] const std::vector<RdRecord>& records() const noexcept {
     return rd_log_;
@@ -389,13 +431,27 @@ class Physician {
   };
   std::optional<PasscodeResult> request_passcode(AServer& authority,
                                                  BytesView patient_tp);
+  Result<PasscodeResult> try_request_passcode(AServer& authority,
+                                              BytesView patient_tp);
+  /// §VI.D automatic failover: retries the next local office on timeout
+  /// instead of making the caller poll first_available(). On success
+  /// `serving_office` (if non-null) receives the index of the office that
+  /// answered, so the caller can address follow-up messages to it.
+  Result<PasscodeResult> request_passcode(AServerCluster& cluster,
+                                          BytesView patient_tp,
+                                          size_t* serving_office = nullptr);
 
   /// MHI: obtain Γr for a role identity (on-duty only).
   std::optional<curve::Point> request_role_key(AServer& authority,
                                                const std::string& role_id);
+  Result<curve::Point> try_request_role_key(AServer& authority,
+                                            const std::string& role_id);
 
   /// MHI retrieval (§IV.E.2): compute TDr(kw), search, decrypt with Γr.
   [[nodiscard]] std::vector<MhiWindow> retrieve_mhi(
+      SServer& server, const std::string& role_id,
+      const curve::Point& role_key, std::string_view keyword);
+  Result<std::vector<MhiWindow>> try_retrieve_mhi(
       SServer& server, const std::string& role_id,
       const curve::Point& role_key, std::string_view keyword);
 

@@ -86,8 +86,9 @@ RetrieveRequest RetrieveRequest::from_wire(BytesView bv) {
   io::Reader r(body_bytes);
   req.tp = r.bytes();
   req.collection = r.str();
-  uint32_t n = r.u32();
-  for (uint32_t i = 0; i < n; ++i) req.trapdoors.push_back(r.bytes());
+  size_t n = r.count32(4);  // each trapdoor: u32 length prefix
+  req.trapdoors.reserve(n);
+  for (size_t i = 0; i < n; ++i) req.trapdoors.push_back(r.bytes());
   return req;
 }
 
@@ -111,8 +112,9 @@ RetrieveResponse RetrieveResponse::from_wire(BytesView bv) {
   resp.t = outer.u64();
   resp.mac = outer.bytes();
   io::Reader r(body_bytes);
-  uint32_t n = r.u32();
-  for (uint32_t i = 0; i < n; ++i) {
+  size_t n = r.count32(12);  // each file: u64 id + u32 length prefix
+  resp.files.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
     sse::FileId id = r.u64();
     resp.files.emplace_back(id, r.bytes());
   }
@@ -273,8 +275,9 @@ RdRecord RdRecord::from_bytes(BytesView b) {
   io::Reader r(body_bytes);
   rd.physician_id = r.str();
   rd.tp = r.bytes();
-  uint32_t n = r.u32();
-  for (uint32_t i = 0; i < n; ++i) rd.keywords.push_back(r.str());
+  size_t n = r.count32(4);  // each keyword: u32 length prefix
+  rd.keywords.reserve(n);
+  for (size_t i = 0; i < n; ++i) rd.keywords.push_back(r.str());
   rd.t11 = r.u64();
   return rd;
 }

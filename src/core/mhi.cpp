@@ -2,9 +2,10 @@
 // IBE_IDr(MHI) ‖ PEKS_σ(IDr, kw) offline and uploads it; during an
 // emergency, the authenticated on-duty physician obtains Γr from the
 // A-server, computes TDr(kw), and the S-server returns the matching
-// role-encrypted windows.
+// role-encrypted windows. All exchanges ride the retrying transport.
 #include "src/cipher/aead.h"
 #include "src/core/entities.h"
+#include "src/sim/transport.h"
 
 namespace hcpp::core {
 
@@ -14,13 +15,19 @@ constexpr const char* kRetrieveLabel = "mhi-retrieval";
 constexpr const char* kRoleKeyLabel = "mhi-role-key";
 }  // namespace
 
-bool PDevice::store_mhi(const AServer& authority, SServer& server,
-                        const std::string& role_id,
-                        std::span<const std::string> extra_keywords) {
-  if (!bundle_.has_value()) return false;
-  const curve::CurveCtx& ctx = authority.ctx();
+Result<void> PDevice::try_store_mhi(
+    const AServer& authority, SServer& server, const std::string& role_id,
+    std::span<const std::string> extra_keywords) {
+  if (!bundle_.has_value()) {
+    return permanent_error(ErrorCode::kPrecondition, 0,
+                           "P-device holds no privilege bundle");
+  }
   Bytes nu = bundle_->nu;
-  bool all_ok = true;
+  // Every window is attempted even after a failure — partial MHI coverage
+  // beats none in an emergency. The worst outcome wins the returned error.
+  bool any_rejected = false;
+  bool any_timeout = false;
+  uint32_t attempts = 0;
   for (const MhiWindow& win : mhi_) {
     MhiStoreRequest req;
     req.tp = bundle_->tp;
@@ -37,11 +44,33 @@ bool PDevice::store_mhi(const AServer& authority, SServer& server,
     }
     req.t = net_->clock().now();
     req.mac = protocol_mac(nu, kStoreLabel, req.body(), req.t);
-    net_->transmit(id_, server.id(), req.wire_size(), kStoreLabel);
-    all_ok &= server.handle_mhi_store(req);
-    (void)ctx;
+    // One-message upload: like PHI storage, the ack is not charged.
+    sim::CallOutcome<bool> out = net_->transport().request<bool>(
+        id_, server.id(), req.wire_size(), req.mac, kStoreLabel,
+        [&]() -> std::optional<bool> {
+          return server.handle_mhi_store(req) ? std::optional<bool>(true)
+                                              : std::nullopt;
+        },
+        [](const bool&) { return size_t{0}; });
+    attempts += out.attempts;
+    if (out.status == sim::CallStatus::kRejected) any_rejected = true;
+    if (out.status == sim::CallStatus::kExhausted) any_timeout = true;
   }
-  return all_ok;
+  if (any_rejected) {
+    return permanent_error(ErrorCode::kRejected, attempts,
+                           "S-server refused an MHI window");
+  }
+  if (any_timeout) {
+    return transient_error(ErrorCode::kTimeout, attempts,
+                           "MHI window undelivered after retries");
+  }
+  return {};
+}
+
+bool PDevice::store_mhi(const AServer& authority, SServer& server,
+                        const std::string& role_id,
+                        std::span<const std::string> extra_keywords) {
+  return try_store_mhi(authority, server, role_id, extra_keywords).ok();
 }
 
 bool SServer::handle_mhi_store(const MhiStoreRequest& req) {
@@ -71,7 +100,7 @@ bool SServer::handle_mhi_store(const MhiStoreRequest& req) {
   return true;
 }
 
-std::optional<curve::Point> Physician::request_role_key(
+Result<curve::Point> Physician::try_request_role_key(
     AServer& authority, const std::string& role_id) {
   RoleKeyRequest req;
   req.physician_id = id_;
@@ -79,13 +108,29 @@ std::optional<curve::Point> Physician::request_role_key(
   req.t = net_->clock().now();
   req.sig =
       ibc::ibs_sign(*ctx_, private_key_, id_, req.body(), rng_).to_bytes();
-  net_->transmit(id_, authority.id(), req.wire_size(), kRoleKeyLabel);
-  std::optional<curve::Point> key = authority.handle_role_key_request(req);
-  if (key.has_value()) {
-    net_->transmit(authority.id(), id_, curve::point_to_bytes(*key).size(),
-                   kRoleKeyLabel);
+  sim::CallOutcome<curve::Point> out =
+      net_->transport().request<curve::Point>(
+          id_, authority.id(), req.wire_size(), req.sig, kRoleKeyLabel,
+          [&]() { return authority.handle_role_key_request(req); },
+          [](const curve::Point& k) {
+            return curve::point_to_bytes(k).size();
+          });
+  if (out.status == sim::CallStatus::kExhausted) {
+    return transient_error(ErrorCode::kTimeout, out.attempts,
+                           "A-server unreachable for role-key extraction");
   }
-  return key;
+  if (out.status == sim::CallStatus::kRejected) {
+    return permanent_error(ErrorCode::kRejected, out.attempts,
+                           "A-server refused the role-key request");
+  }
+  return *out.response;
+}
+
+std::optional<curve::Point> Physician::request_role_key(
+    AServer& authority, const std::string& role_id) {
+  Result<curve::Point> r = try_request_role_key(authority, role_id);
+  if (!r.ok()) return std::nullopt;
+  return r.value();
 }
 
 std::optional<curve::Point> AServer::handle_role_key_request(
@@ -106,39 +151,55 @@ std::optional<curve::Point> AServer::handle_role_key_request(
   return domain_.extract(req.role_id);
 }
 
-std::vector<MhiWindow> Physician::retrieve_mhi(SServer& server,
-                                               const std::string& role_id,
-                                               const curve::Point& role_key,
-                                               std::string_view keyword) {
-  // ρ = ê(Γr, PK_S) = ê(PK_r, Γ_S) — the role-based pairwise key.
-  Bytes rho = ibc::shared_key_with_id(*ctx_, role_key,
-                                      server.id());
+Result<std::vector<MhiWindow>> Physician::try_retrieve_mhi(
+    SServer& server, const std::string& role_id, const curve::Point& role_key,
+    std::string_view keyword) {
+  // ρ = ê(Γr, PK_S) = ê(PK_r, Γ_S) — the role-based pairwise key, derived
+  // against the *service* identity so any group replica can answer.
+  Bytes rho = ibc::shared_key_with_id(*ctx_, role_key, server.service_id());
   MhiRetrieveRequest req;
   req.physician_id = id_;
   req.role_id = role_id;
   req.trapdoor = peks::peks_trapdoor(*ctx_, role_key, keyword).to_bytes();
   req.t = net_->clock().now();
   req.mac = protocol_mac(rho, kRetrieveLabel, req.body(), req.t);
-  net_->transmit(id_, server.id(), req.wire_size(), kRetrieveLabel);
 
-  std::optional<MhiRetrieveResponse> resp = server.handle_mhi_retrieve(req);
-  if (!resp.has_value()) return {};
-  net_->transmit(server.id(), id_, resp->wire_size(), kRetrieveLabel);
-  if (!protocol_mac_ok(rho, kRetrieveLabel, resp->body(), resp->t,
-                       resp->mac)) {
-    return {};
+  sim::CallOutcome<MhiRetrieveResponse> out =
+      net_->transport().request<MhiRetrieveResponse>(
+          id_, server.id(), req.wire_size(), req.mac, kRetrieveLabel,
+          [&]() { return server.handle_mhi_retrieve(req); },
+          [](const MhiRetrieveResponse& r) { return r.wire_size(); });
+  if (out.status == sim::CallStatus::kExhausted) {
+    return transient_error(ErrorCode::kTimeout, out.attempts,
+                           "MHI retrieval undelivered after retries");
   }
-  std::vector<MhiWindow> out;
-  for (const Bytes& blob : resp->ibe_blobs) {
+  if (out.status == sim::CallStatus::kRejected) {
+    return permanent_error(ErrorCode::kRejected, out.attempts,
+                           "S-server refused the MHI retrieval");
+  }
+  const MhiRetrieveResponse& resp = *out.response;
+  if (!protocol_mac_ok(rho, kRetrieveLabel, resp.body(), resp.t, resp.mac)) {
+    return permanent_error(ErrorCode::kBadResponse, out.attempts,
+                           "MHI response failed authentication");
+  }
+  std::vector<MhiWindow> windows;
+  for (const Bytes& blob : resp.ibe_blobs) {
     try {
       ibc::IbeCiphertext ct = ibc::IbeCiphertext::from_bytes(*ctx_, blob);
-      out.push_back(
+      windows.push_back(
           MhiWindow::from_bytes(ibc::ibe_decrypt(*ctx_, role_key, ct)));
     } catch (const std::exception&) {
       // skip undecryptable entries
     }
   }
-  return out;
+  return windows;
+}
+
+std::vector<MhiWindow> Physician::retrieve_mhi(SServer& server,
+                                               const std::string& role_id,
+                                               const curve::Point& role_key,
+                                               std::string_view keyword) {
+  return try_retrieve_mhi(server, role_id, role_key, keyword).value_or({});
 }
 
 std::optional<MhiRetrieveResponse> SServer::handle_mhi_retrieve(

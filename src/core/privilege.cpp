@@ -1,15 +1,44 @@
 // §IV.C ASSIGN (local, sealed under the pre-shared μ) and REVOKE (one
 // authenticated message re-keying d and replacing BE_U(d) at the S-server).
+// REVOKE rides the retrying transport; against a replicated hospital one
+// re-keying is fanned out to every replica so no office keeps honoring the
+// revoked member's trapdoors.
 #include "src/core/privilege.h"
 
 #include "src/cipher/aead.h"
 #include "src/common/serialize.h"
+#include "src/core/cluster.h"
+#include "src/sim/transport.h"
 
 namespace hcpp::core {
 
 namespace {
 constexpr const char* kAssignLabel = "privilege-assign";
 constexpr const char* kRevokeLabel = "privilege-revoke";
+
+/// One transport-routed REVOKE to one server. Like storage, the historical
+/// accounting charges one message (the ack is free), so response_size is 0.
+Result<void> send_revoke(sim::Network& net, const std::string& from,
+                         SServer& server, const RevokeRequest& req) {
+  sim::CallOutcome<bool> out = net.transport().request<bool>(
+      from, server.id(), req.wire_size(), req.mac, kRevokeLabel,
+      [&]() -> std::optional<bool> {
+        return server.handle_revoke(req) ? std::optional<bool>(true)
+                                         : std::nullopt;
+      },
+      [](const bool&) { return size_t{0}; });
+  switch (out.status) {
+    case sim::CallStatus::kOk:
+      return {};
+    case sim::CallStatus::kRejected:
+      return permanent_error(ErrorCode::kRejected, out.attempts,
+                             "S-server refused the revocation");
+    case sim::CallStatus::kExhausted:
+    default:
+      return transient_error(ErrorCode::kTimeout, out.attempts,
+                             "REVOKE undelivered after retries");
+  }
+}
 }  // namespace
 
 bool assign_privilege(Patient& patient, Family& family, BytesView mu) {
@@ -29,7 +58,7 @@ bool assign_privilege(Patient& patient, PDevice& device, BytesView mu) {
   return device.receive_bundle(sealed, mu);
 }
 
-bool Patient::revoke_member(SServer& server, size_t slot) {
+Result<void> Patient::try_revoke_member(SServer& server, size_t slot) {
   if (be_group_ == nullptr) throw std::logic_error("Patient: setup() first");
   be_group_->revoke(slot);
   Bytes d_new = rng_.bytes(32);
@@ -46,8 +75,52 @@ bool Patient::revoke_member(SServer& server, size_t slot) {
   req.sealed = cipher::aead_encrypt(nu, inner.data(), {}, rng_);
   req.t = net_->clock().now();
   req.mac = protocol_mac(nu, kRevokeLabel, req.body(), req.t);
-  net_->transmit(name_, sserver_id_, req.wire_size(), kRevokeLabel);
-  return server.handle_revoke(req);
+  return send_revoke(*net_, name_, server, req);
+}
+
+bool Patient::revoke_member(SServer& server, size_t slot) {
+  return try_revoke_member(server, slot).ok();
+}
+
+Result<size_t> Patient::revoke_member(SServerGroup& group, size_t slot) {
+  if (be_group_ == nullptr) throw std::logic_error("Patient: setup() first");
+  // Re-key once; mirror the same sealed update to every replica. Replicas a
+  // retry couldn't reach stay on the old d until the next sync_replicas().
+  be_group_->revoke(slot);
+  Bytes d_new = rng_.bytes(32);
+  Bytes be_new = be_group_->encrypt(d_new, rng_);
+  keys_.d = d_new;
+
+  io::Writer inner;
+  inner.bytes(d_new);
+  inner.bytes(be_new);
+  Bytes nu = shared_key_nu();
+  RevokeRequest req;
+  req.tp = tp_bytes();
+  req.collection = collection_;
+  req.sealed = cipher::aead_encrypt(nu, inner.data(), {}, rng_);
+  req.t = net_->clock().now();
+  req.mac = protocol_mac(nu, kRevokeLabel, req.body(), req.t);
+
+  size_t applied = 0;
+  bool any_rejected = false;
+  uint32_t attempts = 0;
+  for (size_t i = 0; i < group.size(); ++i) {
+    Result<void> r = send_revoke(*net_, name_, group.replica(i), req);
+    if (r.ok()) {
+      ++applied;
+    } else {
+      attempts += r.error().attempts;
+      any_rejected |= !r.error().transient();
+    }
+  }
+  if (applied > 0) return applied;
+  if (any_rejected) {
+    return permanent_error(ErrorCode::kRejected, attempts,
+                           "every replica refused the revocation");
+  }
+  return transient_error(ErrorCode::kUnreachable, attempts,
+                         "no storage replica reachable for REVOKE");
 }
 
 bool SServer::handle_revoke(const RevokeRequest& req) {

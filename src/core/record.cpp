@@ -37,15 +37,16 @@ KeywordIndex KeywordIndex::from_bytes(BytesView b) {
   io::Reader r(b);
   KeywordIndex ki;
   ki.sserver_id = r.str();
-  uint32_t n = r.u32();
-  for (uint32_t i = 0; i < n; ++i) {
+  size_t n = r.count32(8);  // each entry: u32 kw len + u32 posting count
+  for (size_t i = 0; i < n; ++i) {
     std::string kw = r.str();
-    uint32_t m = r.u32();
+    size_t m = r.count32(8);  // each posting: u64 file id
     std::vector<sse::FileId>& fids = ki.entries[kw];
-    for (uint32_t j = 0; j < m; ++j) fids.push_back(r.u64());
+    fids.reserve(m);
+    for (size_t j = 0; j < m; ++j) fids.push_back(r.u64());
   }
-  uint32_t fn = r.u32();
-  for (uint32_t i = 0; i < fn; ++i) {
+  size_t fn = r.count32(12);  // each name: u64 id + u32 length prefix
+  for (size_t i = 0; i < fn; ++i) {
     sse::FileId id = r.u64();
     ki.file_names[id] = r.str();
   }
@@ -155,9 +156,9 @@ MhiWindow MhiWindow::from_bytes(BytesView b) {
   io::Reader r(b);
   MhiWindow win;
   win.day = r.str();
-  uint32_t n = r.u32();
+  size_t n = r.count32(33);  // each sample: 4 × u64 + u8
   win.samples.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
+  for (size_t i = 0; i < n; ++i) {
     MhiSample s;
     s.t_ns = r.u64();
     s.heart_rate_bpm = static_cast<double>(r.u64()) / 100.0;

@@ -1,19 +1,64 @@
 // §IV.D common-case PHI retrieval: one round — trapdoors up, Λ(kw) down.
 // The S-server performs the O(1) SEARCH and never sees keywords or
 // plaintext; the patient decrypts on the cell phone and hands the plaintext
-// to the physician out of band.
+// to the physician out of band. The exchange rides the retrying transport;
+// against a replicated hospital (SServerGroup) reads fail over to the next
+// replica when one office times out.
 #include <set>
 
+#include "src/core/cluster.h"
 #include "src/core/entities.h"
 #include "src/sim/onion.h"
+#include "src/sim/transport.h"
 
 namespace hcpp::core {
 
 namespace {
 constexpr const char* kLabel = "phi-retrieval";
+
+std::vector<sse::PlainFile> decrypt_response(const sse::Keys& keys,
+                                             const RetrieveResponse& resp) {
+  std::vector<sse::PlainFile> out;
+  for (const auto& [id, blob] : resp.files) {
+    try {
+      out.push_back(sse::decrypt_file(keys, blob));
+    } catch (const std::exception&) {
+      // Tampered blob: skip it rather than abort the treatment flow.
+    }
+  }
+  return out;
 }
 
-std::vector<sse::PlainFile> Patient::retrieve(
+/// One transport-routed retrieval round against one server.
+Result<std::vector<sse::PlainFile>> send_retrieve(sim::Network& net,
+                                                  const std::string& from,
+                                                  SServer& server,
+                                                  const RetrieveRequest& req,
+                                                  BytesView nu,
+                                                  const sse::Keys& keys) {
+  sim::CallOutcome<RetrieveResponse> out =
+      net.transport().request<RetrieveResponse>(
+          from, server.id(), req.wire_size(), req.mac, kLabel,
+          [&]() { return server.handle_retrieve(req); },
+          [](const RetrieveResponse& r) { return r.wire_size(); });
+  if (out.status == sim::CallStatus::kExhausted) {
+    return transient_error(ErrorCode::kTimeout, out.attempts,
+                           "retrieval undelivered after retries");
+  }
+  if (out.status == sim::CallStatus::kRejected) {
+    return permanent_error(ErrorCode::kRejected, out.attempts,
+                           "S-server refused the retrieval");
+  }
+  const RetrieveResponse& resp = *out.response;
+  if (!protocol_mac_ok(nu, kLabel, resp.body(), resp.t, resp.mac)) {
+    return permanent_error(ErrorCode::kBadResponse, out.attempts,
+                           "response failed authentication");
+  }
+  return decrypt_response(keys, resp);
+}
+}  // namespace
+
+Result<std::vector<sse::PlainFile>> Patient::try_retrieve(
     SServer& server, std::span<const std::string> keywords) {
   if (ctx_ == nullptr) throw std::logic_error("Patient: setup() first");
   RetrieveRequest req;
@@ -28,23 +73,39 @@ std::vector<sse::PlainFile> Patient::retrieve(
   Bytes nu = shared_key_nu();
   req.t = net_->clock().now();
   req.mac = protocol_mac(nu, kLabel, req.body(), req.t);
-  net_->transmit(name_, sserver_id_, req.wire_size(), kLabel);
+  return send_retrieve(*net_, name_, server, req, nu, keys_);
+}
 
-  std::optional<RetrieveResponse> resp = server.handle_retrieve(req);
-  if (!resp.has_value()) return {};
-  net_->transmit(sserver_id_, name_, resp->wire_size(), kLabel);
-  if (!protocol_mac_ok(nu, kLabel, resp->body(), resp->t, resp->mac)) {
-    return {};
+std::vector<sse::PlainFile> Patient::retrieve(
+    SServer& server, std::span<const std::string> keywords) {
+  return try_retrieve(server, keywords).value_or({});
+}
+
+Result<std::vector<sse::PlainFile>> Patient::retrieve(
+    SServerGroup& group, std::span<const std::string> keywords) {
+  if (ctx_ == nullptr) throw std::logic_error("Patient: setup() first");
+  // One prepared request (one alias rotation step), failed over across the
+  // replicas; a fresh timestamp/MAC per replica keeps replay caches honest.
+  std::vector<Bytes> trapdoors;
+  for (const std::string& kw : keywords) {
+    trapdoors.push_back(sse::make_trapdoor(keys_, next_alias(kw)).to_bytes());
   }
-  std::vector<sse::PlainFile> out;
-  for (const auto& [id, blob] : resp->files) {
-    try {
-      out.push_back(sse::decrypt_file(keys_, blob));
-    } catch (const std::exception&) {
-      // Tampered blob: skip it rather than abort the treatment flow.
-    }
+  Bytes nu = shared_key_nu();
+  uint32_t attempts = 0;
+  for (size_t i = 0; i < group.size(); ++i) {
+    RetrieveRequest req;
+    req.tp = tp_bytes();
+    req.collection = collection_;
+    req.trapdoors = trapdoors;
+    req.t = net_->clock().now();
+    req.mac = protocol_mac(nu, kLabel, req.body(), req.t);
+    Result<std::vector<sse::PlainFile>> r =
+        send_retrieve(*net_, name_, group.replica(i), req, nu, keys_);
+    if (r.ok() || !r.error().transient()) return r;
+    attempts += r.error().attempts;
   }
-  return out;
+  return transient_error(ErrorCode::kUnreachable, attempts,
+                         "no storage replica answered the retrieval");
 }
 
 std::vector<sse::PlainFile> Patient::retrieve_anonymous(
@@ -82,15 +143,7 @@ std::vector<sse::PlainFile> Patient::retrieve_anonymous(
     return {};
   }
   if (!protocol_mac_ok(nu, kLabel, resp.body(), resp.t, resp.mac)) return {};
-  std::vector<sse::PlainFile> out;
-  for (const auto& [id, blob] : resp.files) {
-    try {
-      out.push_back(sse::decrypt_file(keys_, blob));
-    } catch (const std::exception&) {
-      // skip tampered blobs
-    }
-  }
-  return out;
+  return decrypt_response(keys_, resp);
 }
 
 std::optional<RetrieveResponse> SServer::handle_retrieve(

@@ -1,7 +1,11 @@
 // §IV.B private PHI storage: one authenticated upload of (TPp, SI, Λ) plus
 // the privilege material (d, BE_U(d)) the ASSIGN/REVOKE extension needs.
+// Uploads ride the retrying transport: lost or duplicated messages are
+// retried / suppressed transparently, and the caller sees a typed Result.
+#include "src/core/cluster.h"
 #include "src/core/entities.h"
 #include "src/sim/onion.h"
+#include "src/sim/transport.h"
 
 namespace hcpp::core {
 
@@ -28,9 +32,34 @@ StoreRequest build_store_request(RandomSource& rng,
   req.mac = protocol_mac(nu, kLabel, req.body(), req.t);
   return req;
 }
+
+/// One transport-routed upload to one server. The acknowledgement is not
+/// separately charged (historical §V.B.2 accounting: storage is one
+/// message), so response_size reports 0.
+Result<void> send_store(sim::Network& net, const std::string& from,
+                        SServer& server, const StoreRequest& req) {
+  sim::CallOutcome<bool> out = net.transport().request<bool>(
+      from, server.id(), req.wire_size(), req.mac, kLabel,
+      [&]() -> std::optional<bool> {
+        return server.handle_store(req) ? std::optional<bool>(true)
+                                        : std::nullopt;
+      },
+      [](const bool&) { return size_t{0}; });
+  switch (out.status) {
+    case sim::CallStatus::kOk:
+      return {};
+    case sim::CallStatus::kRejected:
+      return permanent_error(ErrorCode::kRejected, out.attempts,
+                             "S-server refused the upload");
+    case sim::CallStatus::kExhausted:
+    default:
+      return transient_error(ErrorCode::kTimeout, out.attempts,
+                             "PHI upload undelivered after retries");
+  }
+}
 }  // namespace
 
-bool Patient::store_phi(SServer& server) {
+Result<void> Patient::try_store_phi(SServer& server) {
   if (ctx_ == nullptr) throw std::logic_error("Patient: setup() first");
   // Home-PC side: secure index (over keyword aliases, §VI.B), logical
   // keyword index, encrypted collection.
@@ -40,8 +69,43 @@ bool Patient::store_phi(SServer& server) {
   StoreRequest req = build_store_request(
       rng_, collection_, aliased, files_, *be_group_, keys_,
       net_->clock().now(), shared_key_nu(), tp_bytes());
-  net_->transmit(name_, sserver_id_, req.wire_size(), kLabel);
-  return server.handle_store(req);
+  return send_store(*net_, name_, server, req);
+}
+
+bool Patient::store_phi(SServer& server) {
+  return try_store_phi(server).ok();
+}
+
+Result<size_t> Patient::store_phi(SServerGroup& group) {
+  if (ctx_ == nullptr) throw std::logic_error("Patient: setup() first");
+  ki_ = KeywordIndex::build(files_, sserver_id_);
+  std::vector<sse::PlainFile> aliased =
+      apply_keyword_aliases(files_, alias_count_);
+  // One prepared upload, mirrored to every replica (same MAC — each replica
+  // keeps its own replay cache, and the transport keys idempotency by
+  // (receiver, MAC), so the fan-out is safe).
+  StoreRequest req = build_store_request(
+      rng_, collection_, aliased, files_, *be_group_, keys_,
+      net_->clock().now(), shared_key_nu(), tp_bytes());
+  size_t stored = 0;
+  bool any_rejected = false;
+  uint32_t attempts = 0;
+  for (size_t i = 0; i < group.size(); ++i) {
+    Result<void> r = send_store(*net_, name_, group.replica(i), req);
+    if (r.ok()) {
+      ++stored;
+    } else {
+      attempts += r.error().attempts;
+      any_rejected |= !r.error().transient();
+    }
+  }
+  if (stored > 0) return stored;
+  if (any_rejected) {
+    return permanent_error(ErrorCode::kRejected, attempts,
+                           "every replica refused the upload");
+  }
+  return transient_error(ErrorCode::kUnreachable, attempts,
+                         "no storage replica reachable");
 }
 
 bool Patient::store_phi_anonymous(SServer& server, sim::OnionNetwork& onion) {

@@ -146,8 +146,9 @@ HibcCiphertext HibcCiphertext::from_bytes(const curve::CurveCtx& ctx,
   io::Reader r(b);
   HibcCiphertext ct;
   ct.u0 = curve::point_from_bytes(ctx, r.bytes());
-  uint32_t n = r.u32();
-  for (uint32_t i = 0; i < n; ++i) {
+  size_t n = r.count32(4);  // each point: u32 length prefix
+  ct.u.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
     ct.u.push_back(curve::point_from_bytes(ctx, r.bytes()));
   }
   ct.box = r.bytes();
@@ -169,8 +170,9 @@ HibcSignature HibcSignature::from_bytes(const curve::CurveCtx& ctx,
   io::Reader r(b);
   HibcSignature sig;
   sig.sigma = curve::point_from_bytes(ctx, r.bytes());
-  uint32_t n = r.u32();
-  for (uint32_t i = 0; i < n; ++i) {
+  size_t n = r.count32(4);  // each point: u32 length prefix
+  sig.q_values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
     sig.q_values.push_back(curve::point_from_bytes(ctx, r.bytes()));
   }
   return sig;

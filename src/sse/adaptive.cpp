@@ -125,8 +125,8 @@ AdaptiveIndex AdaptiveIndex::from_bytes(BytesView b) {
   io::Reader r(b);
   AdaptiveIndex index;
   index.bound = r.u32();
-  uint64_t n = r.u64();
-  for (uint64_t i = 0; i < n; ++i) {
+  size_t n = r.count64(8);  // each entry: u32 label len + u32 value len
+  for (size_t i = 0; i < n; ++i) {
     std::string label = r.str();
     index.entries[label] = r.bytes();
   }
@@ -155,8 +155,9 @@ std::optional<AdaptiveTrapdoor> AdaptiveTrapdoor::from_bytes(BytesView b) {
   try {
     io::Reader r(b);
     AdaptiveTrapdoor td;
-    uint32_t n = r.u32();
-    for (uint32_t i = 0; i < n; ++i) {
+    size_t n = r.count32(8);  // each slot: two u32 length prefixes
+    td.slots.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
       Bytes label = r.bytes();
       Bytes mask = r.bytes();
       td.slots.emplace_back(std::move(label), std::move(mask));

@@ -113,8 +113,9 @@ PlainFile PlainFile::from_bytes(BytesView bv) {
   f.id = r.u64();
   f.name = r.str();
   f.content = r.bytes();
-  uint32_t n = r.u32();
-  for (uint32_t i = 0; i < n; ++i) f.keywords.push_back(r.str());
+  size_t n = r.count32(4);  // each keyword: u32 length prefix
+  f.keywords.reserve(n);
+  for (size_t i = 0; i < n; ++i) f.keywords.push_back(r.str());
   return f;
 }
 
@@ -261,11 +262,11 @@ Bytes SecureIndex::to_bytes() const {
 SecureIndex SecureIndex::from_bytes(BytesView bv) {
   io::Reader r(bv);
   SecureIndex si;
-  uint64_t n = r.u64();
+  size_t n = r.count64(kNodeSize);
   si.array_a.reserve(n);
-  for (uint64_t i = 0; i < n; ++i) si.array_a.push_back(r.raw(kNodeSize));
-  uint64_t m = r.u64();
-  for (uint64_t i = 0; i < m; ++i) {
+  for (size_t i = 0; i < n; ++i) si.array_a.push_back(r.raw(kNodeSize));
+  size_t m = r.count64(8);  // each entry: u32 key len + u32 value len
+  for (size_t i = 0; i < m; ++i) {
     std::string k = r.str();
     si.table_t[k] = r.bytes();
   }
@@ -296,8 +297,8 @@ Bytes EncryptedCollection::to_bytes() const {
 EncryptedCollection EncryptedCollection::from_bytes(BytesView bv) {
   io::Reader r(bv);
   EncryptedCollection ec;
-  uint64_t n = r.u64();
-  for (uint64_t i = 0; i < n; ++i) {
+  size_t n = r.count64(12);  // each file: u64 id + u32 length prefix
+  for (size_t i = 0; i < n; ++i) {
     FileId id = r.u64();
     ec.files[id] = r.bytes();
   }

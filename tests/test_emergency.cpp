@@ -7,6 +7,7 @@
 
 #include "src/core/cluster.h"
 #include "src/core/setup.h"
+#include "src/sim/transport.h"
 
 namespace hcpp::core {
 namespace {
@@ -167,9 +168,10 @@ TEST(PDeviceEmergency, RevokedDeviceFailsOpenClosed) {
 }
 
 TEST(AServerFailover, ReplicaServesWhenPrimaryIsDown) {
-  // §VI.D: the A-server role split across local offices; the physician calls
-  // the next office when one is DoS'd. Replicas share the domain, so the
-  // passcode a replica issues still decrypts at the P-device.
+  // §VI.D: the A-server role split across local offices; the transport dials
+  // the next office automatically when one is DoS'd (no first_available
+  // polling). Replicas share the domain, so the passcode a replica issues
+  // still decrypts at the P-device.
   sim::Network net;
   cipher::Drbg rng(to_bytes("failover"));
   const curve::CurveCtx& ctx = curve::params(curve::ParamSet::kTest);
@@ -186,18 +188,23 @@ TEST(AServerFailover, ReplicaServesWhenPrimaryIsDown) {
   ASSERT_TRUE(assign_privilege(patient, pdevice, mu));
   Physician er(net, cluster.replica(0), "dr-er");
 
-  // Attack: offices 0 and 1 go down.
+  // Attack: offices 0 and 1 go down. Keep the per-office budget small so
+  // the failover walk is quick.
   cluster.set_up(0, false);
   cluster.set_up(1, false);
-  AServer* office = cluster.first_available();
-  ASSERT_NE(office, nullptr);
-  EXPECT_EQ(office->id(), "state-a-2");
+  sim::RetryPolicy quick;
+  quick.max_attempts = 2;
+  net.transport().set_policy(quick);
 
   pdevice.press_emergency_button();
-  auto pass = er.request_passcode(*office, patient.tp_bytes());
-  ASSERT_TRUE(pass.has_value());
-  ASSERT_TRUE(pdevice.deliver_passcode(*office, pass->for_device));
-  ASSERT_TRUE(pdevice.enter_passcode("dr-er", pass->nonce));
+  size_t office = 99;
+  Result<Physician::PasscodeResult> pass =
+      er.request_passcode(cluster, patient.tp_bytes(), &office);
+  ASSERT_TRUE(pass.ok());
+  EXPECT_EQ(office, 2u);
+  ASSERT_TRUE(pdevice.deliver_passcode(cluster.replica(office),
+                                       pass.value().for_device));
+  ASSERT_TRUE(pdevice.enter_passcode("dr-er", pass.value().nonce));
   std::vector<std::string> kws = {
       patient.keyword_index().dictionary().front()};
   EXPECT_FALSE(pdevice.emergency_retrieve(sserver, kws).empty());
@@ -207,6 +214,8 @@ TEST(AServerFailover, ReplicaServesWhenPrimaryIsDown) {
 }
 
 TEST(AServerFailover, AllOfficesDownMeansNoAuthority) {
+  // Legacy manual-polling path (deprecated, kept working): first_available
+  // still reports outages for callers that have not migrated.
   sim::Network net;
   cipher::Drbg rng(to_bytes("failover-all"));
   const curve::CurveCtx& ctx = curve::params(curve::ParamSet::kTest);

@@ -5,6 +5,7 @@
 
 #include "src/be/broadcast.h"
 #include "src/cipher/drbg.h"
+#include "src/common/serialize.h"
 #include "src/core/messages.h"
 #include "src/core/record.h"
 #include "src/curve/params.h"
@@ -108,6 +109,37 @@ TEST(MutationFuzz, BitFlippedEncodingsNeverCrash) {
       // parse-time rejection also fine
     }
   }
+}
+
+// A length prefix promising far more elements than the blob could possibly
+// hold must be rejected before any allocation happens — a 16-byte message
+// must never trigger a multi-gigabyte reserve() (untrusted-length DoS).
+TEST(LengthGuard, HugeCountsRejectBeforeAllocating) {
+  io::Writer w;
+  w.u64(0x0000FFFFFFFFFFFFull);  // SecureIndex: ~2^48 nodes "announced"
+  EXPECT_THROW((void)sse::SecureIndex::from_bytes(w.data()),
+               std::out_of_range);
+  EXPECT_THROW((void)sse::EncryptedCollection::from_bytes(w.data()),
+               std::out_of_range);
+
+  io::Writer w32;
+  w32.u32(0xFFFFFFFFu);  // u32-counted parsers
+  EXPECT_THROW((void)core::KeywordIndex::from_bytes(w32.data()),
+               std::out_of_range);
+  EXPECT_THROW((void)be::MemberKeys::from_bytes(
+                   [] {  // valid u64 index, absurd key count
+                     io::Writer x;
+                     x.u64(7);
+                     x.u32(0xFFFFFFFFu);
+                     return x.take();
+                   }()),
+               std::out_of_range);
+
+  io::Writer mhi;
+  mhi.str("day");
+  mhi.u32(0xFFFFFFFFu);  // ~4G samples in a 11-byte blob
+  EXPECT_THROW((void)core::MhiWindow::from_bytes(mhi.data()),
+               std::out_of_range);
 }
 
 }  // namespace
