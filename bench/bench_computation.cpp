@@ -36,6 +36,69 @@ void BM_TatePairing(benchmark::State& state) {
 }
 BENCHMARK(BM_TatePairing)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// The retired affine Miller loop (one F_p inversion per step), kept as the
+// correctness oracle — benchmarked to document what the projective rewrite
+// buys.
+void BM_TatePairingReference(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-pairing-ref"));
+  curve::Point g = curve::generator(ctx);
+  curve::Point p = curve::mul(ctx, g, curve::random_scalar(ctx, rng));
+  curve::Point q = curve::mul(ctx, g, curve::random_scalar(ctx, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve::pairing_reference(ctx, p, q));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_TatePairingReference)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Fixed first argument: the Miller-loop lines are cached once, each pairing
+// then pays only line evaluations + squarings + final exponentiation.
+void BM_TatePairingPrecomputed(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-pairing-pre"));
+  curve::Point g = curve::generator(ctx);
+  curve::Point p = curve::mul(ctx, g, curve::random_scalar(ctx, rng));
+  curve::Point q = curve::mul(ctx, g, curve::random_scalar(ctx, rng));
+  curve::PairingPrecomp pre(ctx, p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pre.pairing_with(q));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_TatePairingPrecomputed)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Π of `terms` pairings under one squaring chain + final exponentiation —
+// the HIBC decrypt/verify shape. Compare n·BM_TatePairing against one
+// BM_PairingProduct/n.
+void BM_PairingProduct(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-pairing-prod"));
+  curve::Point g = curve::generator(ctx);
+  std::vector<curve::PairingTerm> terms;
+  for (int64_t i = 0; i < state.range(1); ++i) {
+    terms.emplace_back(curve::mul(ctx, g, curve::random_scalar(ctx, rng)),
+                       curve::mul(ctx, g, curve::random_scalar(ctx, rng)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve::pairing_product(ctx, terms));
+  }
+  state.SetLabel(std::string(set_name(state.range(0))) + " terms=" +
+                 std::to_string(state.range(1)));
+}
+BENCHMARK(BM_PairingProduct)
+    ->Args({0, 2})
+    ->Args({0, 4})
+    ->Args({1, 2})
+    ->Args({1, 4})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ScalarMul(benchmark::State& state) {
   const curve::CurveCtx& ctx = ctx_for(state.range(0));
   cipher::Drbg rng(to_bytes("bench-mul"));
@@ -233,6 +296,25 @@ void BM_IbeCcaDecrypt(benchmark::State& state) {
 }
 BENCHMARK(BM_IbeCcaDecrypt)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// Batch decryption under one role key: the IbeDecryptor hoists the private
+// key's Miller lines out of every pairing (the MHI retrieval loop).
+void BM_IbeDecryptFixedKey(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-ibe-dec-fixed"));
+  ibc::Domain domain(ctx, rng);
+  ibc::IbeCiphertext ct =
+      ibc::ibe_encrypt(domain.pub(), "p-device", Bytes(256, 0x5a), rng);
+  ibc::IbeDecryptor dec(ctx, domain.extract("p-device"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.decrypt(ct));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_IbeDecryptFixedKey)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 // The symmetric patient path (§V.B.3: "only computationally-efficient
 // symmetric key operations") — microsecond scale, for contrast.
 void BM_SharedKeyDerivation(benchmark::State& state) {
@@ -246,6 +328,23 @@ void BM_SharedKeyDerivation(benchmark::State& state) {
   state.SetLabel(set_name(state.range(0)));
 }
 BENCHMARK(BM_SharedKeyDerivation)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Server-side ν/ϖ/ρ derivation with a fixed private key (SharedKeyDeriver):
+// the per-request cost the S- and A-servers actually pay.
+void BM_SharedKeyDerivationFixedKey(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  cipher::Drbg rng(to_bytes("bench-shared-fixed"));
+  ibc::Domain domain(ctx, rng);
+  ibc::SharedKeyDeriver deriver(ctx, domain.extract("patient"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deriver.with_id("s-server"));
+  }
+  state.SetLabel(set_name(state.range(0)));
+}
+BENCHMARK(BM_SharedKeyDerivationFixedKey)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);

@@ -249,8 +249,7 @@ std::optional<AServer::EmergencyAuthOutcome> AServer::handle_emergency_auth(
   EmergencyAuthOutcome out;
 
   // Step 2: passcode to the physician under the pairwise key ϖ.
-  Bytes varpi =
-      ibc::shared_key_with_id(domain_.ctx(), self_key_, req.physician_id);
+  Bytes varpi = key_deriver_.with_id(req.physician_id);
   out.to_physician.enc_nonce =
       cipher::aead_encrypt(varpi, nonce, {}, rng_);
   out.to_physician.t = t11;
@@ -325,8 +324,7 @@ Result<Physician::PasscodeResult> Physician::try_request_passcode(
       return permanent_error(ErrorCode::kBadResponse, out.attempts,
                              "office signature failed verification");
     }
-    Bytes varpi =
-        ibc::shared_key_with_id(*ctx_, private_key_, authority.id());
+    Bytes varpi = key_deriver_.with_id(authority.id());
     Bytes nonce =
         cipher::aead_decrypt(varpi, outcome.to_physician.enc_nonce, {});
     return PasscodeResult{std::move(nonce), std::move(outcome.to_pdevice)};

@@ -28,6 +28,7 @@ AServer::AServer(sim::Network& net, const curve::CurveCtx& ctx, std::string id,
       }()),
       rng_(seed_for(seed, "aserver-rng")) {
   self_key_ = domain_.extract(id_);
+  key_deriver_ = ibc::SharedKeyDeriver(domain_.ctx(), self_key_);
 }
 
 AServer::AServer(sim::Network& net, const ibc::Domain& shared_domain,
@@ -37,6 +38,7 @@ AServer::AServer(sim::Network& net, const ibc::Domain& shared_domain,
       domain_(shared_domain),
       rng_(seed_for(seed, "aserver-replica-rng")) {
   self_key_ = domain_.extract(id_);
+  key_deriver_ = ibc::SharedKeyDeriver(domain_.ctx(), self_key_);
 }
 
 curve::Point AServer::provision(std::string_view entity_id) const {
@@ -64,7 +66,8 @@ SServer::SServer(sim::Network& net, const AServer& authority, std::string id,
       id_(std::move(id)),
       service_id_(service_id.empty() ? id_ : std::move(service_id)),
       ctx_(&authority.ctx()),
-      self_key_(authority.provision(service_id_)) {}
+      self_key_(authority.provision(service_id_)),
+      nu_deriver_(*ctx_, self_key_) {}
 
 std::string SServer::account_key(BytesView tp, const std::string& collection) {
   return hex_encode(tp) + "/" + collection;
@@ -84,7 +87,7 @@ Bytes SServer::shared_key_for(BytesView tp_bytes) const {
   if (!curve::in_prime_subgroup(*ctx_, tp)) {
     throw std::invalid_argument("SServer: pseudonym not in prime subgroup");
   }
-  return ibc::shared_key_with_point(*ctx_, self_key_, tp);
+  return nu_deriver_.with_point(tp);
 }
 
 std::vector<std::string> SServer::visible_account_ids() const {
@@ -228,6 +231,9 @@ void Patient::setup(const AServer& authority, const std::string& sserver_id) {
   // the hospital nor the A-server can link TPp back to the issued pair.
   ibc::Domain::Pseudonym issued = authority.issue_pseudonym();
   pseudonym_ = ibc::rerandomize_pseudonym(*ctx_, issued, rng_);
+  // ν is a pure function of (Γp, ID_S), both fixed from here on — derive it
+  // once instead of paying a pairing per protocol run.
+  nu_ = ibc::shared_key_with_id(*ctx_, pseudonym_.gamma, sserver_id_);
   keys_ = sse::Keys::generate(rng_);
   be_group_ = std::make_unique<be::BroadcastGroup>(8, rng_);
   ki_ = KeywordIndex{};
@@ -255,6 +261,7 @@ std::string Patient::next_alias(const std::string& kw) {
 Bytes Patient::tp_bytes() const { return curve::point_to_bytes(pseudonym_.tp); }
 
 Bytes Patient::shared_key_nu() const {
+  if (!nu_.empty()) return nu_;
   return ibc::shared_key_with_id(*ctx_, pseudonym_.gamma, sserver_id_);
 }
 
@@ -321,6 +328,7 @@ Physician::Physician(sim::Network& net, const AServer& authority,
       authority_pub_(authority.pub()),
       authority_id_(authority.id()),
       private_key_(authority.provision(id_)),
+      key_deriver_(*ctx_, private_key_),
       rng_(to_bytes("physician-" + id_)) {}
 
 }  // namespace hcpp::core

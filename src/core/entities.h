@@ -92,6 +92,7 @@ class AServer {
   std::string id_;
   ibc::Domain domain_;
   curve::Point self_key_;  // Γ_A (signing / shared keys)
+  ibc::SharedKeyDeriver key_deriver_;  // fixed-Γ_A NIKE precomputation
   std::map<std::string, bool> on_duty_;
   std::vector<TraceRecord> traces_;
   mutable cipher::Drbg rng_;
@@ -175,6 +176,7 @@ class SServer {
   std::string service_id_;
   const curve::CurveCtx* ctx_;
   curve::Point self_key_;  // Γ_S (for service_id_)
+  ibc::SharedKeyDeriver nu_deriver_;  // fixed-Γ_S ν/ρ precomputation
   std::map<std::string, Account> accounts_;
   std::vector<MhiEntry> mhi_store_;
 };
@@ -288,6 +290,7 @@ class Patient {
   std::string collection_ = "phi-main";
   const curve::CurveCtx* ctx_ = nullptr;
   ibc::Domain::Pseudonym pseudonym_;
+  Bytes nu_;  // ν with the S-server, fixed once setup() pins the pseudonym
   sse::Keys keys_;
   KeywordIndex ki_;
   std::vector<sse::PlainFile> files_;
@@ -462,6 +465,7 @@ class Physician {
   ibc::PublicParams authority_pub_;
   std::string authority_id_;
   curve::Point private_key_;  // Γ_i
+  ibc::SharedKeyDeriver key_deriver_;  // fixed-Γ_i NIKE precomputation
   mutable cipher::Drbg rng_;
 };
 

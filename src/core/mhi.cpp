@@ -183,11 +183,13 @@ Result<std::vector<MhiWindow>> Physician::try_retrieve_mhi(
                            "MHI response failed authentication");
   }
   std::vector<MhiWindow> windows;
+  // One precomputation of Γr's Miller lines amortizes across the whole
+  // batch: each blob's pairing ê(Γr, U) is line evaluations only.
+  ibc::IbeDecryptor decryptor(*ctx_, role_key);
   for (const Bytes& blob : resp.ibe_blobs) {
     try {
       ibc::IbeCiphertext ct = ibc::IbeCiphertext::from_bytes(*ctx_, blob);
-      windows.push_back(
-          MhiWindow::from_bytes(ibc::ibe_decrypt(*ctx_, role_key, ct)));
+      windows.push_back(MhiWindow::from_bytes(decryptor.decrypt(ct)));
     } catch (const std::exception&) {
       // skip undecryptable entries
     }
@@ -206,7 +208,7 @@ std::optional<MhiRetrieveResponse> SServer::handle_mhi_retrieve(
     const MhiRetrieveRequest& req) {
   // Server side of ρ: ê(PK_r, Γ_S).
   curve::Point role_pk = ibc::Domain::public_key(*ctx_, req.role_id);
-  Bytes rho = ibc::shared_key_with_point(*ctx_, self_key_, role_pk);
+  Bytes rho = nu_deriver_.with_point(role_pk);
   if (!protocol_mac_ok(rho, kRetrieveLabel, req.body(), req.t, req.mac)) {
     return std::nullopt;
   }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/curve/pairing.h"
 #include "src/hash/sha256.h"
 #include "src/mp/prime.h"
 
@@ -29,6 +30,8 @@ CurveCtx::CurveCtx(const mp::U512& p_in, const mp::U512& q_in,
   cofactor = dm.quotient;
 }
 
+CurveCtx::~CurveCtx() = default;
+
 bool operator==(const Point& a, const Point& b) noexcept {
   if (a.infinity || b.infinity) return a.infinity == b.infinity;
   return a.x == b.x && a.y == b.y;
@@ -53,7 +56,7 @@ bool on_curve(const CurveCtx& ctx, const Point& pt) {
 
 bool in_prime_subgroup(const CurveCtx& ctx, const Point& pt) {
   if (pt.infinity || !on_curve(ctx, pt)) return false;
-  return mul(ctx, pt, ctx.q).infinity;
+  return mul_wnaf(ctx, pt, ctx.q).infinity;
 }
 
 Point negate(const Point& a) {
@@ -273,7 +276,7 @@ Point hash_to_point(const CurveCtx& ctx, BytesView msg, std::string_view tag) {
     std::optional<Fp> y = rhs.sqrt();
     if (!y.has_value()) continue;
     Point pt{x, *y, false};
-    Point in_subgroup = mul(ctx, pt, ctx.cofactor);
+    Point in_subgroup = mul_wnaf(ctx, pt, ctx.cofactor);
     if (in_subgroup.infinity) continue;
     return in_subgroup;
   }
@@ -283,6 +286,9 @@ mp::U512 hash_to_scalar(const CurveCtx& ctx, BytesView msg,
                         std::string_view tag) {
   for (uint32_t ctr = 0;; ++ctr) {
     Bytes input = to_bytes(tag);
+    input.push_back(static_cast<uint8_t>(ctr >> 24));
+    input.push_back(static_cast<uint8_t>(ctr >> 16));
+    input.push_back(static_cast<uint8_t>(ctr >> 8));
     input.push_back(static_cast<uint8_t>(ctr));
     append(input, msg);
     Bytes wide = hash::sha256_bytes(input);

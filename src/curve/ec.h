@@ -17,6 +17,7 @@
 namespace hcpp::curve {
 
 struct Point;
+class PairingPrecomp;  // pairing.h
 
 /// Domain parameters plus derived contexts. Construct via Params (params.h)
 /// or from a freshly generated set (tools/gen_params).
@@ -32,10 +33,15 @@ struct CurveCtx {
 
   CurveCtx(const mp::U512& p_in, const mp::U512& q_in, const mp::U512& gx_in,
            const mp::U512& gy_in, std::string name_in);
+  ~CurveCtx();  // out of line: PairingPrecomp is incomplete here
 
   // Lazily built fixed-base table for the generator (see mul_generator).
   mutable std::once_flag fixed_base_once;
   mutable std::vector<std::vector<Point>> fixed_base_table;
+  // Lazily built Miller-loop line cache for the generator (see
+  // generator_precomp in pairing.h).
+  mutable std::once_flag gen_precomp_once;
+  mutable std::unique_ptr<PairingPrecomp> gen_precomp;
 };
 
 /// Affine point (infinity encoded explicitly). Value type; all operations

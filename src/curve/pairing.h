@@ -3,7 +3,31 @@
 // map ψ(x, y) = (−x, i·y), using Miller's algorithm with denominator
 // elimination (all vertical-line values land in F_p and are annihilated by
 // the (p−1) factor of the final exponentiation (p²−1)/q = (p−1)·c).
+//
+// The production entry points keep the loop point V in Jacobian coordinates
+// and scale every line value by a factor in F_p (2YZ³ for tangents, 2HZ for
+// chords), which the final exponentiation also annihilates — so the Miller
+// loop runs without a single field inversion (Barreto–Kim–Lynn–Scott,
+// CRYPTO 2002). The only inversion left in a pairing is the one inside
+// f^(p−1) = conj(f)·f^{-1} of the final exponentiation.
+//
+// Three evaluation modes:
+//   * pairing(ctx, P, Q)        — one-shot, inversion-free projective loop.
+//   * PairingPrecomp            — caches the Miller-loop line coefficients of
+//     a fixed first argument (Scott, CT-RSA 2005); each pairing_with(Q) then
+//     pays only 2 F_p multiplications per line plus the shared squaring
+//     chain and final exponentiation.
+//   * pairing_product(ctx, ts)  — Π ê(P_i, Q_i) sharing one squaring chain
+//     and one final exponentiation across all terms (use negate(P_i) for an
+//     inverse factor); what HIBC decrypt/verify use instead of ℓ+1
+//     independent pairings.
+// pairing_reference keeps the original affine loop as the cross-check oracle
+// for all of the above (tests/test_pairing.cpp, ctest pairing_consistency).
 #pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "src/curve/ec.h"
 
@@ -36,5 +60,53 @@ class Gt {
 
 /// ê(P, Q). Returns Gt::one if either input is the point at infinity.
 Gt pairing(const CurveCtx& ctx, const Point& p_in, const Point& q_in);
+
+/// The original affine Miller loop (one inversion per step). Kept as the
+/// slow, independently-derived oracle the optimized paths are tested
+/// against; never call it on a hot path.
+Gt pairing_reference(const CurveCtx& ctx, const Point& p_in,
+                     const Point& q_in);
+
+/// Cached Miller-loop line coefficients for a fixed first argument P. Each
+/// line is stored as (c0, c1, c2) with value (c0 + c1·x_Q) + (c2·y_Q)·i, so
+/// pairing_with(Q) only evaluates lines — no point arithmetic at all.
+/// Because ê is symmetric, a fixed argument on *either* side of a pairing
+/// can be hoisted through this type.
+class PairingPrecomp {
+ public:
+  PairingPrecomp() = default;
+  PairingPrecomp(const CurveCtx& ctx, const Point& p);
+
+  /// ê(P_fixed, Q).
+  [[nodiscard]] Gt pairing_with(const Point& q) const;
+
+  /// True when default-constructed or built from the point at infinity
+  /// (every pairing_with then returns Gt::one).
+  [[nodiscard]] bool trivial() const noexcept {
+    return ctx_ == nullptr || lines_.empty();
+  }
+
+ private:
+  struct Line {
+    field::Fp c0, c1, c2;
+    bool ident = false;  // line degenerated to 1 (post-infinity steps)
+  };
+  const CurveCtx* ctx_ = nullptr;
+  std::vector<Line> lines_;
+};
+
+/// One multi-pairing factor ê(p, q).
+using PairingTerm = std::pair<Point, Point>;
+
+/// Π_i ê(terms[i].first, terms[i].second) with one shared squaring chain and
+/// one final exponentiation. Infinity terms contribute 1. For a factor
+/// ê(P, Q)^{-1} pass {negate(P), Q}.
+Gt pairing_product(const CurveCtx& ctx, std::span<const PairingTerm> terms);
+
+/// Per-context PairingPrecomp for the group generator, built lazily and
+/// cached on the CurveCtx (thread-safe). Every protocol pairing with P as
+/// one argument — Hess IBS sign/verify, pseudonym validity, HIBC verify —
+/// goes through this table.
+const PairingPrecomp& generator_precomp(const CurveCtx& ctx);
 
 }  // namespace hcpp::curve

@@ -39,9 +39,13 @@ Domain::Pseudonym rerandomize_pseudonym(const curve::CurveCtx& ctx,
 
 bool pseudonym_valid(const PublicParams& pub, const Domain::Pseudonym& pn) {
   const curve::CurveCtx& ctx = *pub.ctx;
-  curve::Gt lhs = curve::pairing(ctx, pn.tp, pub.p_pub);
-  curve::Gt rhs = curve::pairing(ctx, pn.gamma, curve::generator(ctx));
-  return lhs == rhs;
+  // ê(TP, Ppub) == ê(Γ, P)  ⟺  ê(TP, Ppub)·ê(−Γ, P) == 1: one multi-pairing
+  // (shared squaring chain and final exponentiation) instead of two.
+  const curve::PairingTerm terms[] = {
+      {pn.tp, pub.p_pub},
+      {curve::negate(pn.gamma), curve::generator(ctx)},
+  };
+  return curve::pairing_product(ctx, terms).is_one();
 }
 
 namespace {
@@ -61,6 +65,18 @@ Bytes shared_key_with_point(const curve::CurveCtx& ctx,
                             const curve::Point& my_private,
                             const curve::Point& peer_public) {
   return kdf_from_gt(curve::pairing(ctx, my_private, peer_public));
+}
+
+SharedKeyDeriver::SharedKeyDeriver(const curve::CurveCtx& ctx,
+                                   const curve::Point& my_private)
+    : ctx_(&ctx), pre_(ctx, my_private) {}
+
+Bytes SharedKeyDeriver::with_id(std::string_view peer_id) const {
+  return with_point(Domain::public_key(*ctx_, peer_id));
+}
+
+Bytes SharedKeyDeriver::with_point(const curve::Point& peer_public) const {
+  return kdf_from_gt(pre_.pairing_with(peer_public));
 }
 
 }  // namespace hcpp::ibc

@@ -76,4 +76,24 @@ Bytes shared_key_with_point(const curve::CurveCtx& ctx,
                             const curve::Point& my_private,
                             const curve::Point& peer_public);
 
+/// Fixed-key NIKE context: precomputes the Miller-loop lines of my_private
+/// once, so every subsequent ν/ϖ/ρ derivation against a fresh peer pays only
+/// line evaluations. This is the per-request path of the S- and A-servers,
+/// which derive ν = ê(Γ_S, TPp) for every presented pseudonym.
+class SharedKeyDeriver {
+ public:
+  SharedKeyDeriver() = default;
+  SharedKeyDeriver(const curve::CurveCtx& ctx,
+                   const curve::Point& my_private);
+
+  /// K = KDF(ê(my_private, H1(peer_id))). Same value as shared_key_with_id.
+  [[nodiscard]] Bytes with_id(std::string_view peer_id) const;
+  /// K = KDF(ê(my_private, peer)). Same value as shared_key_with_point.
+  [[nodiscard]] Bytes with_point(const curve::Point& peer_public) const;
+
+ private:
+  const curve::CurveCtx* ctx_ = nullptr;
+  curve::PairingPrecomp pre_;
+};
+
 }  // namespace hcpp::ibc

@@ -78,11 +78,17 @@ Bytes hibc_decrypt(const HibcNode& node, const HibcCiphertext& ct) {
     throw std::invalid_argument("hibc_decrypt: root holds no identity key");
   }
   if (ct.u.size() + 1 != node.depth()) throw cipher::AuthError();
-  // g^r = ê(U0, S_t) · Π_{i=2..t} ê(Q_{i-1}, U_i)^{-1}
-  curve::Gt g = curve::pairing(ctx, ct.u0, node.secret_point());
+  // g^r = ê(U0, S_t) · Π_{i=2..t} ê(Q_{i-1}, U_i)^{-1} as one multi-pairing:
+  // the inverse factors become negated first arguments, and all t terms
+  // share a single squaring chain and final exponentiation instead of t
+  // independent pairings plus t−1 GT inversions.
+  std::vector<curve::PairingTerm> terms;
+  terms.reserve(ct.u.size() + 1);
+  terms.emplace_back(ct.u0, node.secret_point());
   for (size_t i = 0; i < ct.u.size(); ++i) {
-    g = g * curve::pairing(ctx, node.q_chain()[i], ct.u[i]).inv();
+    terms.emplace_back(curve::negate(node.q_chain()[i]), ct.u[i]);
   }
+  curve::Gt g = curve::pairing_product(ctx, terms);
   Bytes key = kem_key(g);
   Bytes pt = cipher::aead_decrypt(key, ct.box, {});
   secure_wipe(key);
@@ -120,16 +126,19 @@ bool hibc_verify(const HibcPublic& pub, std::span<const std::string> id_path,
                  BytesView message, const HibcSignature& sig) {
   const curve::CurveCtx& ctx = *pub.ctx;
   if (id_path.empty() || sig.q_values.size() != id_path.size()) return false;
-  // ê(P, σ) == ê(Q0, P_1) · Π_{i=2..t} ê(Q_{i-1}, P_i) · ê(Q_t, P_M)
-  curve::Gt lhs = curve::pairing(ctx, curve::generator(ctx), sig.sigma);
-  curve::Gt rhs = curve::pairing(ctx, pub.q0, path_point(ctx, id_path, 1));
+  // ê(P, σ) == ê(Q0, P_1) · Π_{i=2..t} ê(Q_{i-1}, P_i) · ê(Q_t, P_M),
+  // checked as ê(−P, σ)·ê(Q0, P_1)·…·ê(Q_t, P_M) == 1: all t+2 pairings
+  // collapse into one multi-pairing.
+  std::vector<curve::PairingTerm> terms;
+  terms.reserve(id_path.size() + 2);
+  terms.emplace_back(curve::negate(curve::generator(ctx)), sig.sigma);
+  terms.emplace_back(pub.q0, path_point(ctx, id_path, 1));
   for (size_t i = 2; i <= id_path.size(); ++i) {
-    rhs = rhs * curve::pairing(ctx, sig.q_values[i - 2],
-                               path_point(ctx, id_path, i));
+    terms.emplace_back(sig.q_values[i - 2], path_point(ctx, id_path, i));
   }
-  curve::Point p_m = message_point(ctx, id_path, message);
-  rhs = rhs * curve::pairing(ctx, sig.q_values.back(), p_m);
-  return lhs == rhs;
+  terms.emplace_back(sig.q_values.back(),
+                     message_point(ctx, id_path, message));
+  return curve::pairing_product(ctx, terms).is_one();
 }
 
 Bytes HibcCiphertext::to_bytes() const {

@@ -47,6 +47,17 @@ Bytes ibe_decrypt(const curve::CurveCtx& ctx, const curve::Point& private_key,
   return pt;
 }
 
+IbeDecryptor::IbeDecryptor(const curve::CurveCtx& ctx,
+                           const curve::Point& private_key)
+    : pre_(ctx, private_key) {}
+
+Bytes IbeDecryptor::decrypt(const IbeCiphertext& ct) const {
+  Bytes key = kem_key(pre_.pairing_with(ct.u));
+  Bytes pt = cipher::aead_decrypt(key, ct.box, {});
+  secure_wipe(key);
+  return pt;
+}
+
 IbePrecomputed::IbePrecomputed(const PublicParams& pub, std::string_view id)
     : ctx_(pub.ctx),
       g_id_(curve::pairing(*pub.ctx, Domain::public_key(*pub.ctx, id),

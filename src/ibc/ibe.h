@@ -59,6 +59,21 @@ class IbePrecomputed {
   curve::Gt g_id_;  // ê(Q_recipient, Ppub)
 };
 
+/// Fixed-key decryption context: precomputes the Miller-loop lines of the
+/// recipient's private key Γ, so each decryption's pairing ê(Γ, U) costs
+/// only line evaluations. Pays off from the second ciphertext on — the MHI
+/// retrieval path decrypts whole batches under one role key.
+class IbeDecryptor {
+ public:
+  IbeDecryptor(const curve::CurveCtx& ctx, const curve::Point& private_key);
+
+  /// Same result as ibe_decrypt; throws cipher::AuthError on tampering.
+  [[nodiscard]] Bytes decrypt(const IbeCiphertext& ct) const;
+
+ private:
+  curve::PairingPrecomp pre_;
+};
+
 // ---- FullIdent (CCA security via Fujisaki–Okamoto) ---------------------------
 // BasicIdent is only CPA-secure; [19]'s FullIdent applies the FO transform:
 // the encryption randomness is derived as r = H4(σ ‖ m), and the decryptor

@@ -18,7 +18,8 @@ IbsSignature ibs_sign(const curve::CurveCtx& ctx,
                       BytesView message, RandomSource& rng) {
   curve::Point q_id = Domain::public_key(ctx, id);
   mp::U512 k = curve::random_scalar(ctx, rng);
-  curve::Gt u = curve::pairing(ctx, q_id, curve::generator(ctx)).pow(k);
+  // ê(H1(ID), P): the generator's cached Miller lines apply by symmetry.
+  curve::Gt u = curve::generator_precomp(ctx).pairing_with(q_id).pow(k);
   IbsSignature sig;
   sig.v = challenge(ctx, message, u);
   // W = v·Γ + k·H1(ID)
@@ -33,7 +34,7 @@ bool ibs_verify(const PublicParams& pub, std::string_view id,
   if (sig.w.infinity || sig.v.is_zero() || !(sig.v < ctx.q)) return false;
   curve::Point q_id = Domain::public_key(ctx, id);
   // u' = ê(W, P) · ê(H1(ID), Ppub)^{-v}
-  curve::Gt e1 = curve::pairing(ctx, sig.w, curve::generator(ctx));
+  curve::Gt e1 = curve::generator_precomp(ctx).pairing_with(sig.w);
   mp::U512 neg_v = mp::sub_mod(mp::U512{}, sig.v, ctx.q);
   curve::Gt e2 = curve::pairing(ctx, q_id, pub.p_pub).pow(neg_v);
   curve::Gt u = e1 * e2;
@@ -48,7 +49,7 @@ IbsVerifier::IbsVerifier(const PublicParams& pub, std::string_view id)
 
 bool IbsVerifier::verify(BytesView message, const IbsSignature& sig) const {
   if (sig.w.infinity || sig.v.is_zero() || !(sig.v < ctx_->q)) return false;
-  curve::Gt e1 = curve::pairing(*ctx_, sig.w, curve::generator(*ctx_));
+  curve::Gt e1 = curve::generator_precomp(*ctx_).pairing_with(sig.w);
   mp::U512 neg_v = mp::sub_mod(mp::U512{}, sig.v, ctx_->q);
   curve::Gt u = e1 * g_id_.pow(neg_v);
   return challenge(*ctx_, message, u) == sig.v;

@@ -129,6 +129,42 @@ TEST(Fp2, ConjugationIsFrobenius) {
   EXPECT_EQ(x.pow(f.p), x.conj());
 }
 
+TEST(Fp2, KaratsubaMulMatchesSchoolbook) {
+  // operator* uses the 3-multiplication Karatsuba form; re-derive each
+  // product with the 4-multiplication schoolbook formula.
+  const FpCtx& f = test_field();
+  cipher::Drbg rng(to_bytes("fp2-karatsuba"));
+  for (int i = 0; i < 25; ++i) {
+    Fp2 a(random_fp(f, rng), random_fp(f, rng));
+    Fp2 b(random_fp(f, rng), random_fp(f, rng));
+    Fp2 school(a.re() * b.re() - a.im() * b.im(),
+               a.re() * b.im() + a.im() * b.re());
+    EXPECT_EQ(a * b, school);
+  }
+}
+
+TEST(Fp2, WindowedPowMatchesRepeatedMultiplication) {
+  const FpCtx& f = test_field();
+  cipher::Drbg rng(to_bytes("fp2-pow-window"));
+  Fp2 a(random_fp(f, rng), random_fp(f, rng));
+  Fp2 acc = Fp2::one(&f);
+  for (uint64_t e = 0; e < 40; ++e) {
+    EXPECT_EQ(a.pow(mp::U512::from_u64(e)), acc);
+    acc = acc * a;
+  }
+  // Wide random exponents against a bitwise square-and-multiply oracle.
+  for (int i = 0; i < 5; ++i) {
+    mp::U512 e = mp::random_bits(1 + (static_cast<size_t>(rng.u64()) % 500),
+                                 rng);
+    Fp2 oracle = Fp2::one(&f);
+    for (size_t b = e.bit_length(); b-- > 0;) {
+      oracle = oracle.sqr();
+      if ((e.w[b / 64] >> (b % 64)) & 1) oracle = oracle * a;
+    }
+    EXPECT_EQ(a.pow(e), oracle);
+  }
+}
+
 TEST(Fp2, NormMultiplicativity) {
   const FpCtx& f = test_field();
   cipher::Drbg rng(to_bytes("fp2-norm"));

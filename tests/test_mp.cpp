@@ -208,6 +208,32 @@ TEST_P(MontParam, PowMatchesRepeatedMul) {
   }
 }
 
+TEST_P(MontParam, WindowedPowMatchesBitwiseSquareAndMultiply) {
+  // pow uses a 4-bit fixed window; check it against a plain left-to-right
+  // square-and-multiply oracle on random bases and exponent widths.
+  auto rng = test_rng("montpow-window-" + std::to_string(GetParam()));
+  U512 m = generate_prime(GetParam(), rng);
+  MontCtx ctx(m);
+  for (int i = 0; i < 8; ++i) {
+    U512 a = random_below(m, rng);
+    U512 e = random_bits(1 + (static_cast<size_t>(rng.u64()) % 512), rng);
+    U512 am = ctx.to_mont(a);
+    U512 acc = ctx.one();
+    for (size_t b = e.bit_length(); b-- > 0;) {
+      acc = ctx.mul(acc, acc);
+      if ((e.w[b / 64] >> (b % 64)) & 1) acc = ctx.mul(acc, am);
+    }
+    EXPECT_EQ(ctx.pow(am, e), acc);
+  }
+  // Edge exponents around the window boundaries.
+  U512 am = ctx.to_mont(random_below(m, rng));
+  for (uint64_t e : {0ull, 1ull, 15ull, 16ull, 17ull, 255ull, 256ull}) {
+    U512 acc = ctx.one();
+    for (uint64_t k = 0; k < e; ++k) acc = ctx.mul(acc, am);
+    EXPECT_EQ(ctx.pow(am, U512::from_u64(e)), acc);
+  }
+}
+
 TEST_P(MontParam, InverseInMontgomeryDomain) {
   auto rng = test_rng("montinv-" + std::to_string(GetParam()));
   U512 m = generate_prime(GetParam(), rng);

@@ -102,5 +102,81 @@ TEST(Pairing, GtSerializationStable) {
   EXPECT_EQ(e.to_bytes().size(), 128u);
 }
 
+// ---- Optimized engine vs the affine reference oracle ------------------------
+
+TEST(PairingEngine, MatchesReferenceOnBothParameterSets) {
+  for (ParamSet set : {ParamSet::kTest, ParamSet::kProduction}) {
+    const CurveCtx& c = params(set);
+    cipher::Drbg rng(to_bytes("engine-vs-reference"));
+    Point g = generator(c);
+    EXPECT_EQ(pairing(c, g, g), pairing_reference(c, g, g));
+    for (int i = 0; i < 3; ++i) {
+      Point p = mul(c, g, random_scalar(c, rng));
+      Point q = hash_to_point(c, rng.bytes(32));
+      EXPECT_EQ(pairing(c, p, q), pairing_reference(c, p, q));
+    }
+  }
+}
+
+TEST(PairingPrecomp, MatchesFreshPairing) {
+  for (ParamSet set : {ParamSet::kTest, ParamSet::kProduction}) {
+    const CurveCtx& c = params(set);
+    cipher::Drbg rng(to_bytes("precomp-vs-fresh"));
+    Point p = mul(c, generator(c), random_scalar(c, rng));
+    PairingPrecomp pre(c, p);
+    EXPECT_FALSE(pre.trivial());
+    for (int i = 0; i < 3; ++i) {
+      Point q = hash_to_point(c, rng.bytes(32));
+      EXPECT_EQ(pre.pairing_with(q), pairing(c, p, q));
+    }
+    EXPECT_TRUE(pre.pairing_with(Point::at_infinity()).is_one());
+  }
+}
+
+TEST(PairingPrecomp, TrivialCases) {
+  PairingPrecomp empty;
+  EXPECT_TRUE(empty.trivial());
+  // Default-constructed has no context to make a Gt from.
+  EXPECT_THROW((void)empty.pairing_with(generator(ctx())), std::logic_error);
+  PairingPrecomp inf(ctx(), Point::at_infinity());
+  EXPECT_TRUE(inf.trivial());
+  EXPECT_TRUE(inf.pairing_with(generator(ctx())).is_one());
+}
+
+TEST(PairingPrecomp, GeneratorPrecompSharedAndCorrect) {
+  const PairingPrecomp& pre = generator_precomp(ctx());
+  EXPECT_EQ(&pre, &generator_precomp(ctx()));  // cached, not rebuilt
+  Point q = hash_to_point(ctx(), to_bytes("gen-precomp-q"));
+  EXPECT_EQ(pre.pairing_with(q), pairing(ctx(), generator(ctx()), q));
+}
+
+TEST(PairingProduct, MatchesTermByTermProduct) {
+  for (ParamSet set : {ParamSet::kTest, ParamSet::kProduction}) {
+    const CurveCtx& c = params(set);
+    cipher::Drbg rng(to_bytes("product-vs-terms"));
+    std::vector<PairingTerm> terms;
+    Gt expect = Gt::one(c);
+    for (int i = 0; i < 3; ++i) {
+      Point p = mul(c, generator(c), random_scalar(c, rng));
+      Point q = hash_to_point(c, rng.bytes(32));
+      terms.emplace_back(p, q);
+      expect = expect * pairing_reference(c, p, q);
+    }
+    EXPECT_EQ(pairing_product(c, terms), expect);
+  }
+}
+
+TEST(PairingProduct, NegatedTermCancelsAndInfinityIsNeutral) {
+  const CurveCtx& c = ctx();
+  cipher::Drbg rng(to_bytes("product-cancel"));
+  Point p = mul(c, generator(c), random_scalar(c, rng));
+  Point q = hash_to_point(c, to_bytes("cancel-q"));
+  const PairingTerm cancel[] = {{p, q}, {negate(p), q}};
+  EXPECT_TRUE(pairing_product(c, cancel).is_one());
+  const PairingTerm with_inf[] = {{p, q}, {Point::at_infinity(), q}};
+  EXPECT_EQ(pairing_product(c, with_inf), pairing(c, p, q));
+  EXPECT_TRUE(pairing_product(c, std::span<const PairingTerm>{}).is_one());
+}
+
 }  // namespace
 }  // namespace hcpp::curve

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the pairing and protocol benchmark suites and drops their
+# google-benchmark JSON reports at the repo root:
+#   BENCH_pairing.json    — bench_computation (pairing + primitive costs)
+#   BENCH_protocols.json  — bench_protocols (end-to-end protocol runs)
+#
+# Usage: tools/run_benchmarks.sh [build-dir]
+# Builds the benches if the build directory lacks them (needs HCPP_BENCH=ON,
+# the default). Repetitions can be raised with BENCH_REPS (default 1).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+reps="${BENCH_REPS:-1}"
+
+if [[ ! -x "$build_dir/bench/bench_computation" ]]; then
+  cmake -B "$build_dir" -S "$repo_root" -DHCPP_BENCH=ON
+  cmake --build "$build_dir" -j "$(nproc)" \
+    --target bench_computation bench_protocols
+fi
+
+# bench_computation is a google-benchmark binary: native JSON report.
+"$build_dir/bench/bench_computation" \
+  --benchmark_repetitions="$reps" \
+  --benchmark_out_format=json \
+  --benchmark_out="$repo_root/BENCH_pairing.json" >/dev/null
+echo "wrote $repo_root/BENCH_pairing.json"
+
+# bench_protocols is a table-printing harness (messages/bytes per protocol
+# phase); convert its rows to the same {"benchmarks": [...]} shape.
+"$build_dir/bench/bench_protocols" | python3 -c '
+import json, re, sys
+rows = []
+for line in sys.stdin:
+    m = re.match(r"(.{42}) +(\d+) +(\d+)   (.*)", line.rstrip("\n"))
+    if m:
+        rows.append({"name": m.group(1).strip(),
+                     "messages": int(m.group(2)),
+                     "bytes": int(m.group(3)),
+                     "expectation": m.group(4)})
+json.dump({"context": {"source": "bench_protocols"}, "benchmarks": rows},
+          sys.stdout, indent=2)
+' > "$repo_root/BENCH_protocols.json"
+echo "wrote $repo_root/BENCH_protocols.json"
