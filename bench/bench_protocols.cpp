@@ -10,10 +10,13 @@
 //   * MHI storage/retrieval: one message per window / one round per query
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "src/core/setup.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
 
 using namespace hcpp;
 using namespace hcpp::core;
@@ -36,7 +39,22 @@ sim::TrafficStats drain(sim::Network& net) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --metrics-out=PATH: dump the full metrics-registry snapshot (crypto-op
+  // counts, transport delivery stats, latency histograms) as JSON after the
+  // protocol sweep. The registry is attached either way so the table and
+  // the snapshot describe the same run.
+  const char* metrics_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    } else {
+      std::fprintf(stderr, "usage: %s [--metrics-out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  obs::attach(&obs::global());
+
   DeploymentConfig cfg;
   cfg.n_phi_files = 32;
   cfg.seed = 2025;
@@ -117,5 +135,17 @@ int main() {
       "\nshape check: family path (4) = common case (2) + one extra round "
       "(2); the P-device path\nadds only the 3-message role-based "
       "authentication — §V.B.2's \"one more round per security add-on\".\n");
+
+  if (metrics_out != nullptr) {
+    std::string json = obs::to_json(obs::global().snapshot());
+    std::FILE* f = std::fopen(metrics_out, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", metrics_out);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
   return 0;
 }

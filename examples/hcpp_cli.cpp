@@ -18,13 +18,19 @@
 //   onduty <physician> on|off   edit the published on-duty list
 //   revoke family|pdevice     §IV.C REVOKE
 //   audit                     verify RD/TR records (§V.A)
-//   stats                     traffic accounting per protocol
+//   stats                     traffic + transport delivery accounting
+//   metrics [json|prom]       dump the metrics registry snapshot
+//   trace on|off|show|clear   protocol span tracing with crypto-op counts
 //   help / quit
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 
 #include "src/core/setup.h"
+#include "src/obs/export.h"
+#include "src/sim/transport.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 using namespace hcpp;
 using namespace hcpp::core;
@@ -106,11 +112,79 @@ void cmd_stats(Deployment& d) {
               static_cast<unsigned long long>(t.messages),
               static_cast<unsigned long long>(t.bytes),
               static_cast<double>(d.net->clock().now()) / 1e6);
+  sim::DeliveryStats ds = d.net->transport().total();
+  std::printf("transport: %llu requests, %llu attempts, %llu retries, "
+              "%llu succeeded, %llu rejected, %llu gave up, %llu dup "
+              "suppressed, %llu responses lost\n",
+              static_cast<unsigned long long>(ds.requests),
+              static_cast<unsigned long long>(ds.attempts),
+              static_cast<unsigned long long>(ds.retries),
+              static_cast<unsigned long long>(ds.succeeded),
+              static_cast<unsigned long long>(ds.rejected),
+              static_cast<unsigned long long>(ds.gave_up),
+              static_cast<unsigned long long>(ds.duplicates_suppressed),
+              static_cast<unsigned long long>(ds.responses_lost));
+  obs::Snapshot snap = obs::global().snapshot();
+  std::printf("crypto: %llu pairings (+%llu fixed-base, %llu products), "
+              "%llu point muls, %llu hash-to-point\n",
+              static_cast<unsigned long long>(snap.counter(obs::kPairing)),
+              static_cast<unsigned long long>(
+                  snap.counter(obs::kPairingFixed)),
+              static_cast<unsigned long long>(
+                  snap.counter(obs::kPairingProduct)),
+              static_cast<unsigned long long>(snap.counter(obs::kPointMul)),
+              static_cast<unsigned long long>(
+                  snap.counter(obs::kHashToPoint)));
+  std::printf("cluster: %llu failovers (S-group), %llu failovers "
+              "(A-cluster), %llu mirror writes, %llu syncs\n",
+              static_cast<unsigned long long>(
+                  snap.counter(obs::kSGroupFailover)),
+              static_cast<unsigned long long>(
+                  snap.counter(obs::kAClusterFailover)),
+              static_cast<unsigned long long>(
+                  snap.counter(obs::kSGroupMirrorWrites)),
+              static_cast<unsigned long long>(snap.counter(obs::kSGroupSync)));
+}
+
+void cmd_metrics(const std::string& format) {
+  obs::Snapshot snap = obs::global().snapshot();
+  if (format == "prom") {
+    std::fputs(obs::to_prometheus(snap).c_str(), stdout);
+  } else {
+    std::fputs(obs::to_json(snap).c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+}
+
+void cmd_trace(Deployment& d, const std::string& sub) {
+  obs::Tracer& tracer = obs::global().tracer();
+  if (sub == "on") {
+    tracer.enable(d.net->clock());
+    std::printf("tracing on\n");
+  } else if (sub == "off") {
+    tracer.disable();
+    std::printf("tracing off\n");
+  } else if (sub == "clear") {
+    tracer.clear();
+    std::printf("trace buffer cleared\n");
+  } else if (sub == "show") {
+    std::string text = tracer.format();
+    if (text.empty()) {
+      std::printf("(no spans recorded%s)\n",
+                  tracer.enabled() ? "" : "; tracing is off — 'trace on'");
+    } else {
+      std::fputs(text.c_str(), stdout);
+    }
+  } else {
+    std::printf("usage: trace on|off|show|clear\n");
+  }
 }
 
 }  // namespace
 
 int main() {
+  // All instrumented call sites feed the process-wide registry from here on.
+  obs::attach(&obs::global());
   DeploymentConfig cfg;
   cfg.n_phi_files = 8;
   Deployment d = Deployment::create(cfg);
@@ -163,11 +237,20 @@ int main() {
         cmd_audit(d);
       } else if (cmd == "stats") {
         cmd_stats(d);
+      } else if (cmd == "metrics") {
+        std::string format;
+        in >> format;
+        cmd_metrics(format);
+      } else if (cmd == "trace") {
+        std::string sub;
+        in >> sub;
+        cmd_trace(d, sub);
       } else if (cmd == "help") {
         std::printf(
             "store <n> | keywords | retrieve <kw> | family <kw> | "
             "emergency <dr> <kw> | onduty <dr> on|off | revoke "
-            "family|pdevice | audit | stats | quit\n");
+            "family|pdevice | audit | stats | metrics [json|prom] | "
+            "trace on|off|show|clear | quit\n");
       } else {
         std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
       }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/obs/metrics.h"
+
 namespace hcpp::core {
 
 AServerCluster::AServerCluster(sim::Network& net, const curve::CurveCtx& ctx,
@@ -77,6 +79,7 @@ bool SServerGroup::sync_replicas() {
     }
   }
   if (source == nullptr) return false;
+  obs::count(obs::kSGroupSync);
   Bytes state = source->export_state();
   bool ok = true;
   for (size_t i = 0; i < replicas_.size(); ++i) {

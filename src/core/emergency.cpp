@@ -22,6 +22,7 @@
 #include "src/cipher/aead.h"
 #include "src/core/cluster.h"
 #include "src/core/entities.h"
+#include "src/obs/trace.h"
 #include "src/sim/transport.h"
 
 namespace hcpp::core {
@@ -38,6 +39,7 @@ constexpr const char* kAuthLabel = "emergency-auth";
 Result<std::vector<sse::PlainFile>> privileged_retrieve(
     sim::Network& net, const std::string& actor, SServer& server,
     const PrivilegeBundle& pb, std::span<const std::string> keywords) {
+  obs::Span span("protocol:privileged_retrieve");
   // Round 1 (messages 1–2): fetch the current broadcast-encrypted d.
   BeBlobRequest req1;
   req1.tp = pb.tp;
@@ -126,6 +128,7 @@ Result<std::vector<sse::PlainFile>> privileged_retrieve_failover(
         privileged_retrieve(net, actor, group.replica(i), pb, keywords);
     if (r.ok() || !r.error().transient()) return r;
     attempts += r.error().attempts;
+    obs::count(obs::kSGroupFailover);
   }
   return transient_error(ErrorCode::kUnreachable, attempts,
                          "no storage replica answered the emergency");
@@ -137,6 +140,7 @@ Result<std::vector<sse::PlainFile>> privileged_retrieve_failover(
 
 std::optional<BeBlobResponse> SServer::handle_be_request(
     const BeBlobRequest& req) {
+  obs::Span span("sserver:be_request");
   Bytes nu;
   try {
     nu = shared_key_for(req.tp);
@@ -160,6 +164,7 @@ std::optional<BeBlobResponse> SServer::handle_be_request(
 
 std::optional<RetrieveResponse> SServer::handle_privileged_retrieve(
     const PrivilegedRetrieveRequest& req) {
+  obs::Span span("sserver:privileged_retrieve");
   Bytes nu;
   try {
     nu = shared_key_for(req.tp);
@@ -175,6 +180,7 @@ std::optional<RetrieveResponse> SServer::handle_privileged_retrieve(
   Account* acct = find_account(req.tp, req.collection);
   if (acct == nullptr) return std::nullopt;
 
+  obs::Span lookup("sse:lookup");
   std::set<sse::FileId> matched;
   for (const Bytes& wrapped : req.wrapped_trapdoors) {
     // θ_d^{-1} then the embedded validity tag — stale-d submissions fail here.
@@ -221,6 +227,7 @@ Result<std::vector<sse::PlainFile>> Family::emergency_retrieve(
 
 std::optional<AServer::EmergencyAuthOutcome> AServer::handle_emergency_auth(
     const EmergencyAuthRequest& req) {
+  obs::Span span("aserver:emergency_auth");
   if (!net_->accept_fresh(id_, req.sig, req.t, kFreshnessWindowNs)) {
     return std::nullopt;
   }
@@ -285,6 +292,7 @@ std::optional<AServer::EmergencyAuthOutcome> AServer::handle_emergency_auth(
 
 Result<Physician::PasscodeResult> Physician::try_request_passcode(
     AServer& authority, BytesView patient_tp) {
+  obs::Span span("protocol:emergency_auth");
   EmergencyAuthRequest req;
   req.physician_id = id_;
   req.tp = Bytes(patient_tp.begin(), patient_tp.end());
@@ -356,6 +364,7 @@ Result<Physician::PasscodeResult> Physician::request_passcode(
     }
     if (!r.error().transient()) return r;
     attempts += r.error().attempts;
+    obs::count(obs::kAClusterFailover);
   }
   return transient_error(ErrorCode::kUnreachable, attempts,
                          "every local A-server office timed out");

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/cipher/aead.h"
+#include "src/obs/trace.h"
 
 namespace hcpp::core {
 
@@ -80,6 +81,7 @@ SServer::Account* SServer::find_account(BytesView tp,
 }
 
 Bytes SServer::shared_key_for(BytesView tp_bytes) const {
+  obs::Span span("crypto:shared_key");
   curve::Point tp = curve::point_from_bytes(*ctx_, tp_bytes);
   // Reject on-curve points outside the order-q subgroup: pairing a private
   // key against a small-order point would leak it into a brute-forceable

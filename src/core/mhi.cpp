@@ -5,6 +5,7 @@
 // role-encrypted windows. All exchanges ride the retrying transport.
 #include "src/cipher/aead.h"
 #include "src/core/entities.h"
+#include "src/obs/trace.h"
 #include "src/sim/transport.h"
 
 namespace hcpp::core {
@@ -22,6 +23,7 @@ Result<void> PDevice::try_store_mhi(
     return permanent_error(ErrorCode::kPrecondition, 0,
                            "P-device holds no privilege bundle");
   }
+  obs::Span span("protocol:mhi_store");
   Bytes nu = bundle_->nu;
   // Every window is attempted even after a failure — partial MHI coverage
   // beats none in an emergency. The worst outcome wins the returned error.
@@ -74,6 +76,7 @@ bool PDevice::store_mhi(const AServer& authority, SServer& server,
 }
 
 bool SServer::handle_mhi_store(const MhiStoreRequest& req) {
+  obs::Span span("sserver:mhi_store");
   Bytes nu;
   try {
     nu = shared_key_for(req.tp);
@@ -154,6 +157,7 @@ std::optional<curve::Point> AServer::handle_role_key_request(
 Result<std::vector<MhiWindow>> Physician::try_retrieve_mhi(
     SServer& server, const std::string& role_id, const curve::Point& role_key,
     std::string_view keyword) {
+  obs::Span span("protocol:mhi_retrieve");
   // ρ = ê(Γr, PK_S) = ê(PK_r, Γ_S) — the role-based pairwise key, derived
   // against the *service* identity so any group replica can answer.
   Bytes rho = ibc::shared_key_with_id(*ctx_, role_key, server.service_id());
@@ -206,6 +210,7 @@ std::vector<MhiWindow> Physician::retrieve_mhi(SServer& server,
 
 std::optional<MhiRetrieveResponse> SServer::handle_mhi_retrieve(
     const MhiRetrieveRequest& req) {
+  obs::Span span("sserver:mhi_retrieve");
   // Server side of ρ: ê(PK_r, Γ_S).
   curve::Point role_pk = ibc::Domain::public_key(*ctx_, req.role_id);
   Bytes rho = nu_deriver_.with_point(role_pk);

@@ -8,6 +8,7 @@
 #include "src/cipher/aead.h"
 #include "src/common/serialize.h"
 #include "src/core/cluster.h"
+#include "src/obs/trace.h"
 #include "src/sim/transport.h"
 
 namespace hcpp::core {
@@ -60,6 +61,7 @@ bool assign_privilege(Patient& patient, PDevice& device, BytesView mu) {
 
 Result<void> Patient::try_revoke_member(SServer& server, size_t slot) {
   if (be_group_ == nullptr) throw std::logic_error("Patient: setup() first");
+  obs::Span span("protocol:revoke");
   be_group_->revoke(slot);
   Bytes d_new = rng_.bytes(32);
   Bytes be_new = be_group_->encrypt(d_new, rng_);
@@ -84,6 +86,7 @@ bool Patient::revoke_member(SServer& server, size_t slot) {
 
 Result<size_t> Patient::revoke_member(SServerGroup& group, size_t slot) {
   if (be_group_ == nullptr) throw std::logic_error("Patient: setup() first");
+  obs::Span span("protocol:revoke_replicated");
   // Re-key once; mirror the same sealed update to every replica. Replicas a
   // retry couldn't reach stay on the old d until the next sync_replicas().
   be_group_->revoke(slot);
@@ -109,6 +112,7 @@ Result<size_t> Patient::revoke_member(SServerGroup& group, size_t slot) {
     Result<void> r = send_revoke(*net_, name_, group.replica(i), req);
     if (r.ok()) {
       ++applied;
+      obs::count(obs::kSGroupMirrorWrites);
     } else {
       attempts += r.error().attempts;
       any_rejected |= !r.error().transient();
@@ -124,6 +128,7 @@ Result<size_t> Patient::revoke_member(SServerGroup& group, size_t slot) {
 }
 
 bool SServer::handle_revoke(const RevokeRequest& req) {
+  obs::Span span("sserver:revoke");
   Bytes nu;
   try {
     nu = shared_key_for(req.tp);

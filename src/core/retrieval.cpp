@@ -8,6 +8,7 @@
 
 #include "src/core/cluster.h"
 #include "src/core/entities.h"
+#include "src/obs/trace.h"
 #include "src/sim/onion.h"
 #include "src/sim/transport.h"
 
@@ -61,6 +62,7 @@ Result<std::vector<sse::PlainFile>> send_retrieve(sim::Network& net,
 Result<std::vector<sse::PlainFile>> Patient::try_retrieve(
     SServer& server, std::span<const std::string> keywords) {
   if (ctx_ == nullptr) throw std::logic_error("Patient: setup() first");
+  obs::Span span("protocol:retrieve");
   RetrieveRequest req;
   req.tp = tp_bytes();
   req.collection = collection_;
@@ -84,6 +86,7 @@ std::vector<sse::PlainFile> Patient::retrieve(
 Result<std::vector<sse::PlainFile>> Patient::retrieve(
     SServerGroup& group, std::span<const std::string> keywords) {
   if (ctx_ == nullptr) throw std::logic_error("Patient: setup() first");
+  obs::Span span("protocol:retrieve_failover");
   // One prepared request (one alias rotation step), failed over across the
   // replicas; a fresh timestamp/MAC per replica keeps replay caches honest.
   std::vector<Bytes> trapdoors;
@@ -103,6 +106,7 @@ Result<std::vector<sse::PlainFile>> Patient::retrieve(
         send_retrieve(*net_, name_, group.replica(i), req, nu, keys_);
     if (r.ok() || !r.error().transient()) return r;
     attempts += r.error().attempts;
+    obs::count(obs::kSGroupFailover);
   }
   return transient_error(ErrorCode::kUnreachable, attempts,
                          "no storage replica answered the retrieval");
@@ -148,6 +152,7 @@ std::vector<sse::PlainFile> Patient::retrieve_anonymous(
 
 std::optional<RetrieveResponse> SServer::handle_retrieve(
     const RetrieveRequest& req) {
+  obs::Span span("sserver:retrieve");
   Bytes nu;
   try {
     nu = shared_key_for(req.tp);

@@ -4,6 +4,7 @@
 // retried / suppressed transparently, and the caller sees a typed Result.
 #include "src/core/cluster.h"
 #include "src/core/entities.h"
+#include "src/obs/trace.h"
 #include "src/sim/onion.h"
 #include "src/sim/transport.h"
 
@@ -61,6 +62,7 @@ Result<void> send_store(sim::Network& net, const std::string& from,
 
 Result<void> Patient::try_store_phi(SServer& server) {
   if (ctx_ == nullptr) throw std::logic_error("Patient: setup() first");
+  obs::Span span("protocol:store");
   // Home-PC side: secure index (over keyword aliases, §VI.B), logical
   // keyword index, encrypted collection.
   ki_ = KeywordIndex::build(files_, sserver_id_);
@@ -78,6 +80,7 @@ bool Patient::store_phi(SServer& server) {
 
 Result<size_t> Patient::store_phi(SServerGroup& group) {
   if (ctx_ == nullptr) throw std::logic_error("Patient: setup() first");
+  obs::Span span("protocol:store_replicated");
   ki_ = KeywordIndex::build(files_, sserver_id_);
   std::vector<sse::PlainFile> aliased =
       apply_keyword_aliases(files_, alias_count_);
@@ -94,6 +97,7 @@ Result<size_t> Patient::store_phi(SServerGroup& group) {
     Result<void> r = send_store(*net_, name_, group.replica(i), req);
     if (r.ok()) {
       ++stored;
+      obs::count(obs::kSGroupMirrorWrites);
     } else {
       attempts += r.error().attempts;
       any_rejected |= !r.error().transient();
@@ -131,6 +135,7 @@ bool Patient::store_phi_anonymous(SServer& server, sim::OnionNetwork& onion) {
 }
 
 bool SServer::handle_store(const StoreRequest& req) {
+  obs::Span span("sserver:store");
   Bytes nu;
   try {
     nu = shared_key_for(req.tp);

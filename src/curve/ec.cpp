@@ -5,6 +5,7 @@
 #include "src/curve/pairing.h"
 #include "src/hash/sha256.h"
 #include "src/mp/prime.h"
+#include "src/obs/metrics.h"
 
 namespace hcpp::curve {
 
@@ -171,6 +172,7 @@ Jac jac_add_affine(const CurveCtx& ctx, const Jac& a, const Point& b) {
 }  // namespace
 
 Point mul(const CurveCtx& ctx, const Point& a, const mp::U512& k) {
+  obs::count(obs::kPointMul);
   if (a.infinity || k.is_zero()) return Point::at_infinity();
   Jac acc;
   for (size_t i = k.bit_length(); i-- > 0;) {
@@ -181,6 +183,7 @@ Point mul(const CurveCtx& ctx, const Point& a, const mp::U512& k) {
 }
 
 Point mul_wnaf(const CurveCtx& ctx, const Point& a, const mp::U512& k) {
+  obs::count(obs::kPointMul);
   if (a.infinity || k.is_zero()) return Point::at_infinity();
   // Width-4 NAF recoding: digits in {0, ±1, ±3, …, ±15}, no two adjacent
   // nonzero digits.
@@ -240,6 +243,7 @@ void build_fixed_base_table(const CurveCtx& ctx) {
 }  // namespace
 
 Point mul_generator(const CurveCtx& ctx, const mp::U512& k) {
+  obs::count(obs::kPointMul);
   std::call_once(ctx.fixed_base_once, [&ctx] { build_fixed_base_table(ctx); });
   Jac acc;  // mixed Jacobian additions only — no doublings, one inversion
   for (size_t j = 0; j < kFixedBaseWindows; ++j) {
@@ -259,6 +263,7 @@ mp::U512 random_scalar(const CurveCtx& ctx, RandomSource& rng) {
 }
 
 Point hash_to_point(const CurveCtx& ctx, BytesView msg, std::string_view tag) {
+  obs::count(obs::kHashToPoint);
   for (uint32_t ctr = 0;; ++ctr) {
     Bytes input = to_bytes(tag);
     input.push_back(static_cast<uint8_t>(ctr >> 24));

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/obs/metrics.h"
+
 namespace hcpp::curve {
 
 using field::Fp;
@@ -120,6 +122,7 @@ MillerPoint miller_start(const CurveCtx& ctx, const Point& p) {
 // f^((p²−1)/q) = (f^(p−1))^c with f^(p−1) = conj(f)·f^{-1} (the Frobenius on
 // F_{p^2} is conjugation). The single inversion of the whole pairing.
 Gt final_exponentiation(const CurveCtx& ctx, const Fp2& f) {
+  obs::count(obs::kFinalExp);
   Fp2 t = f.conj() * f.inv();
   return Gt(t.pow(ctx.cofactor));
 }
@@ -127,6 +130,7 @@ Gt final_exponentiation(const CurveCtx& ctx, const Fp2& f) {
 }  // namespace
 
 Gt pairing(const CurveCtx& ctx, const Point& p_in, const Point& q_in) {
+  obs::count(obs::kPairing);
   if (p_in.infinity || q_in.infinity) return Gt::one(ctx);
   const Fp& xq = q_in.x;
   const Fp& yq = q_in.y;
@@ -149,6 +153,7 @@ Gt pairing(const CurveCtx& ctx, const Point& p_in, const Point& q_in) {
 
 PairingPrecomp::PairingPrecomp(const CurveCtx& ctx, const Point& p)
     : ctx_(&ctx) {
+  obs::count(obs::kPairingPrecompBuild);
   if (p.infinity) return;
   // One doubling line per loop iteration plus one addition line per set bit;
   // record them in exactly the order pairing_with will consume them.
@@ -166,6 +171,9 @@ PairingPrecomp::PairingPrecomp(const CurveCtx& ctx, const Point& p)
 }
 
 Gt PairingPrecomp::pairing_with(const Point& q) const {
+  // Each call is one full pairing whose Miller-loop point arithmetic the
+  // line cache already paid for — the quantity benches call "saved loops".
+  obs::count(obs::kPairingFixed);
   if (trivial() || q.infinity) {
     if (ctx_ == nullptr) {
       throw std::logic_error("PairingPrecomp: default-constructed");
@@ -197,6 +205,8 @@ Gt pairing_product(const CurveCtx& ctx, std::span<const PairingTerm> terms) {
     const Point* p;
     const Point* q;
   };
+  obs::count(obs::kPairingProduct);
+  obs::count(obs::kPairingProductTerms, terms.size());
   std::vector<Term> live;
   live.reserve(terms.size());
   for (const PairingTerm& t : terms) {
@@ -272,6 +282,7 @@ Fp2 ref_add_step(const CurveCtx& ctx, Point& v, const Point& p,
 
 Gt pairing_reference(const CurveCtx& ctx, const Point& p_in,
                      const Point& q_in) {
+  obs::count(obs::kPairingReference);
   if (p_in.infinity || q_in.infinity) return Gt::one(ctx);
   const Fp neg_xq = q_in.x.neg();
   const Fp yq = q_in.y;

@@ -1,0 +1,426 @@
+#include "src/obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace hcpp::obs {
+
+namespace {
+
+/// Canonical number rendering shared by both exporters; deterministic, so
+/// re-serializing a parsed snapshot reproduces the original text, and exact
+/// (17 significant digits round-trip any double).
+std::string fmt_double(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+std::string fmt_u64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string fmt_i64(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+void json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON cursor, accepting the subset to_json emits.
+
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] bool peek_is(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  /// Consumes c if it is next; returns whether it did.
+  bool accept(char c) {
+    if (!peek_is(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) c = text_[pos_++];
+      out += c;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;
+    return out;
+  }
+
+  double number() {
+    skip_ws();
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(start, &end);
+    if (end == start) fail("expected number");
+    pos_ += static_cast<size_t>(end - start);
+    return v;
+  }
+
+  uint64_t u64() {
+    skip_ws();
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    uint64_t v = std::strtoull(start, &end, 10);
+    if (end == start) fail("expected integer");
+    pos_ += static_cast<size_t>(end - start);
+    return v;
+  }
+
+  int64_t i64() {
+    skip_ws();
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    int64_t v = std::strtoll(start, &end, 10);
+    if (end == start) fail("expected integer");
+    pos_ += static_cast<size_t>(end - start);
+    return v;
+  }
+
+  void done() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("obs json parse at offset " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Prometheus-legal series name: [a-zA-Z0-9_] with an hcpp_ prefix.
+std::string prom_name(std::string_view name) {
+  std::string out = "hcpp_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JSON
+
+std::string to_json(const Snapshot& s) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : s.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_string(out, name);
+    out += ": " + fmt_u64(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : s.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_string(out, name);
+    out += ": " + fmt_i64(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_string(out, name);
+    out += ": {\"bounds\": [";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += fmt_double(h.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += fmt_u64(h.counts[i]);
+    }
+    out += "], \"count\": " + fmt_u64(h.count);
+    out += ", \"sum\": " + fmt_double(h.sum);
+    out += ", \"min\": " + fmt_double(h.min);
+    out += ", \"max\": " + fmt_double(h.max);
+    out += ", \"p50\": " + fmt_double(h.percentile(0.50));
+    out += ", \"p95\": " + fmt_double(h.percentile(0.95));
+    out += ", \"p99\": " + fmt_double(h.percentile(0.99));
+    out += "}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+Snapshot from_json(std::string_view json) {
+  Snapshot s;
+  JsonCursor c(json);
+  c.expect('{');
+
+  auto parse_section = [&](const std::string& want, auto&& member) {
+    std::string key = c.string();
+    if (key != want) {
+      throw std::runtime_error("obs json parse: expected \"" + want +
+                               "\" section, got \"" + key + "\"");
+    }
+    c.expect(':');
+    c.expect('{');
+    if (!c.accept('}')) {
+      do {
+        member();
+      } while (c.accept(','));
+      c.expect('}');
+    }
+  };
+
+  parse_section("counters", [&] {
+    std::string name = c.string();
+    c.expect(':');
+    s.counters[name] = c.u64();
+  });
+  c.expect(',');
+  parse_section("gauges", [&] {
+    std::string name = c.string();
+    c.expect(':');
+    s.gauges[name] = c.i64();
+  });
+  c.expect(',');
+  parse_section("histograms", [&] {
+    std::string name = c.string();
+    c.expect(':');
+    c.expect('{');
+    HistogramSummary h;
+    do {
+      std::string field = c.string();
+      c.expect(':');
+      if (field == "bounds" || field == "counts") {
+        c.expect('[');
+        if (!c.accept(']')) {
+          do {
+            if (field == "bounds") {
+              h.bounds.push_back(c.number());
+            } else {
+              h.counts.push_back(c.u64());
+            }
+          } while (c.accept(','));
+          c.expect(']');
+        }
+      } else if (field == "count") {
+        h.count = c.u64();
+      } else if (field == "sum") {
+        h.sum = c.number();
+      } else if (field == "min") {
+        h.min = c.number();
+      } else if (field == "max") {
+        h.max = c.number();
+      } else {
+        c.number();  // derived fields (p50/p95/p99): recomputable, skipped
+      }
+    } while (c.accept(','));
+    c.expect('}');
+    s.histograms[name] = std::move(h);
+  });
+  c.expect('}');
+  c.done();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+
+std::string to_prometheus(const Snapshot& s) {
+  std::string out;
+  for (const auto& [name, value] : s.counters) {
+    std::string n = prom_name(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + fmt_u64(value) + "\n";
+  }
+  for (const auto& [name, value] : s.gauges) {
+    std::string n = prom_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + fmt_i64(value) + "\n";
+  }
+  for (const auto& [name, h] : s.histograms) {
+    std::string n = prom_name(name);
+    out += "# TYPE " + n + " histogram\n";
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += i < h.counts.size() ? h.counts[i] : 0;
+      out += n + "_bucket{le=\"" + fmt_double(h.bounds[i]) + "\"} " +
+             fmt_u64(cum) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + fmt_u64(h.count) + "\n";
+    out += n + "_sum " + fmt_double(h.sum) + "\n";
+    out += n + "_count " + fmt_u64(h.count) + "\n";
+    out += "# TYPE " + n + "_min gauge\n";
+    out += n + "_min " + fmt_double(h.min) + "\n";
+    out += "# TYPE " + n + "_max gauge\n";
+    out += n + "_max " + fmt_double(h.max) + "\n";
+  }
+  return out;
+}
+
+Snapshot from_prometheus(std::string_view text) {
+  // Accepts exactly what to_prometheus emits. Names keep their sanitized
+  // (underscore) spelling minus the hcpp_ prefix, so emit∘parse is a fixed
+  // point even though the original dotted names are gone.
+  Snapshot s;
+  std::map<std::string, std::string> types;  // sanitized name -> kind
+  size_t pos = 0;
+  auto fail = [](const std::string& why, const std::string& line) -> void {
+    throw std::runtime_error("obs prometheus parse: " + why + " in \"" +
+                             line + "\"");
+  };
+  auto strip = [&fail](const std::string& n,
+                       const std::string& line) -> std::string {
+    if (n.rfind("hcpp_", 0) != 0) fail("missing hcpp_ prefix", line);
+    return n.substr(5);
+  };
+
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string line(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.empty()) continue;
+
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::string rest = line.substr(7);
+      size_t sp = rest.find(' ');
+      if (sp == std::string::npos) fail("malformed TYPE", line);
+      types[rest.substr(0, sp)] = rest.substr(sp + 1);
+      continue;
+    }
+    if (line[0] == '#') continue;
+
+    size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) fail("missing value", line);
+    std::string series = line.substr(0, sp);
+    std::string value = line.substr(sp + 1);
+
+    std::string label;
+    size_t brace = series.find('{');
+    if (brace != std::string::npos) {
+      size_t close = series.find('}', brace);
+      if (close == std::string::npos) fail("unterminated label", line);
+      label = series.substr(brace + 1, close - brace - 1);
+      series = series.substr(0, brace);
+    }
+
+    auto ends_with = [&series](const char* suffix, std::string* base) {
+      size_t n = std::strlen(suffix);
+      if (series.size() <= n ||
+          series.compare(series.size() - n, n, suffix) != 0) {
+        return false;
+      }
+      *base = series.substr(0, series.size() - n);
+      return true;
+    };
+
+    std::string base;
+    auto hist_for = [&](const std::string& b) -> HistogramSummary* {
+      auto it = types.find(b);
+      if (it == types.end() || it->second != "histogram") return nullptr;
+      return &s.histograms[strip(b, line)];
+    };
+
+    if (!label.empty()) {
+      if (!ends_with("_bucket", &base)) fail("labeled non-bucket", line);
+      HistogramSummary* h = hist_for(base);
+      if (h == nullptr) fail("bucket without histogram TYPE", line);
+      if (label.rfind("le=\"", 0) != 0 || label.back() != '"') {
+        fail("expected le label", line);
+      }
+      std::string le = label.substr(4, label.size() - 5);
+      uint64_t cum = std::strtoull(value.c_str(), nullptr, 10);
+      if (le == "+Inf") {
+        // De-cumulate now that every finite bucket has arrived.
+        uint64_t prev = 0;
+        for (uint64_t& c : h->counts) {
+          uint64_t this_cum = c;
+          c = this_cum - prev;
+          prev = this_cum;
+        }
+        h->counts.push_back(cum - prev);  // overflow bucket
+      } else {
+        h->bounds.push_back(std::strtod(le.c_str(), nullptr));
+        h->counts.push_back(cum);  // cumulative until +Inf de-cumulates
+      }
+      continue;
+    }
+
+    if (ends_with("_sum", &base) && hist_for(base) != nullptr) {
+      hist_for(base)->sum = std::strtod(value.c_str(), nullptr);
+    } else if (ends_with("_count", &base) && hist_for(base) != nullptr) {
+      hist_for(base)->count = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ends_with("_min", &base) && hist_for(base) != nullptr) {
+      hist_for(base)->min = std::strtod(value.c_str(), nullptr);
+    } else if (ends_with("_max", &base) && hist_for(base) != nullptr) {
+      hist_for(base)->max = std::strtod(value.c_str(), nullptr);
+    } else {
+      auto it = types.find(series);
+      if (it == types.end()) fail("series without TYPE", line);
+      if (it->second == "counter") {
+        s.counters[strip(series, line)] =
+            std::strtoull(value.c_str(), nullptr, 10);
+      } else if (it->second == "gauge") {
+        s.gauges[strip(series, line)] =
+            std::strtoll(value.c_str(), nullptr, 10);
+      } else {
+        fail("unsupported TYPE " + it->second, line);
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace hcpp::obs

@@ -1,0 +1,27 @@
+// Snapshot serialization: JSON (machine-readable, exact round-trip) and
+// Prometheus text exposition (scrape-ready).
+//
+// JSON round-trips losslessly: from_json(to_json(s)) == s — doubles are
+// printed with 17 significant digits. The Prometheus form sanitizes metric
+// names (dots become underscores, an "hcpp_" prefix is added), which is not
+// invertible; its round-trip guarantee is the fixed point
+// to_prometheus(from_prometheus(text)) == text. Both parsers accept exactly
+// the shape their exporter emits (plus whitespace) and throw
+// std::runtime_error on anything else — they exist for tests and tooling,
+// not as general-purpose parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/obs/metrics.h"
+
+namespace hcpp::obs {
+
+[[nodiscard]] std::string to_json(const Snapshot& snapshot);
+[[nodiscard]] Snapshot from_json(std::string_view json);
+
+[[nodiscard]] std::string to_prometheus(const Snapshot& snapshot);
+[[nodiscard]] Snapshot from_prometheus(std::string_view text);
+
+}  // namespace hcpp::obs

@@ -1,0 +1,187 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/obs/trace.h"
+
+namespace hcpp::obs {
+
+namespace detail {
+std::atomic<Registry*> g_attached{nullptr};
+}
+
+// ---------------------------------------------------------------------------
+// HistogramSummary
+
+double HistogramSummary::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the target sample (1-based), then the first bucket whose
+  // cumulative count reaches it.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t cum = 0;
+  double estimate = max;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (cum >= rank) {
+      // Overflow bucket has no upper bound; report the observed max.
+      estimate = (i < bounds.size()) ? bounds[i] : max;
+      break;
+    }
+  }
+  return std::clamp(estimate, min, max);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+std::vector<double> Histogram::default_latency_bounds() {
+  // 1 µs doubling up to ~68.7 s (27 buckets + overflow).
+  std::vector<double> b;
+  for (double v = 1e3; v <= 7e10; v *= 2.0) b.push_back(v);
+  return b;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double value) {
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  counts_[i] += 1;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += 1;
+  sum_ += value;
+}
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
+  s.bounds = bounds_;
+  s.counts = counts_;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+
+Snapshot Snapshot::diff(const Snapshot& earlier) const {
+  Snapshot d = *this;
+  for (auto& [name, value] : d.counters) {
+    auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) {
+      value = value >= it->second ? value - it->second : 0;
+    }
+  }
+  for (auto& [name, hist] : d.histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end() ||
+        it->second.bounds != hist.bounds) {
+      continue;
+    }
+    const HistogramSummary& e = it->second;
+    for (size_t i = 0; i < hist.counts.size() && i < e.counts.size(); ++i) {
+      hist.counts[i] -= std::min(hist.counts[i], e.counts[i]);
+    }
+    hist.count -= std::min(hist.count, e.count);
+    hist.sum -= e.sum;
+  }
+  return d;
+}
+
+uint64_t Snapshot::counter(std::string_view name) const {
+  auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry::Registry() : tracer_(std::make_unique<Tracer>(*this)) {}
+Registry::~Registry() = default;
+
+void Registry::add(std::string_view name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Registry::gauge_set(std::string_view name, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void Registry::observe(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram()).first;
+  }
+  it->second.record(value);
+}
+
+void Registry::declare_histogram(std::string_view name,
+                                 std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_.insert_or_assign(std::string(name),
+                               Histogram(std::move(bounds)));
+}
+
+uint64_t Registry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+int64_t Registry::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  for (const auto& [name, value] : counters_) s.counters[name] = value;
+  for (const auto& [name, value] : gauges_) s.gauges[name] = value;
+  for (const auto& [name, hist] : histograms_) {
+    s.histograms[name] = hist.summary();
+  }
+  return s;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Registry& global() {
+  static Registry* r = new Registry();  // intentionally leaked
+  return *r;
+}
+
+}  // namespace hcpp::obs

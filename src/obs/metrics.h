@@ -1,0 +1,229 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// latency histograms (p50/p95/p99), plus snapshot/diff so tests and benches
+// can assert on deltas instead of absolute values.
+//
+// Cost model: every instrumentation site goes through the free functions at
+// the bottom (count/gauge_set/observe). They compile away entirely when
+// HCPP_OBS=0, and when compiled in they reduce to one relaxed atomic load
+// and a not-taken branch while no registry is attached — cheap enough to
+// stay on in benches. Attach a registry (obs::attach) to start recording;
+// the simulation is single-threaded but the registry still locks, so bench
+// binaries with worker threads stay correct.
+//
+// Metric names are dot-separated ("transport.retries",
+// "crypto.pairing_fixed"); the exporters (export.h) map them to JSON keys
+// and Prometheus series. The kM* constants below are the canonical names
+// used across the stack — grep for them to find every instrumentation site.
+#pragma once
+
+#ifndef HCPP_OBS
+#define HCPP_OBS 1
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hcpp::sim {
+class Clock;
+}
+
+namespace hcpp::obs {
+
+class Tracer;
+
+// ---------------------------------------------------------------------------
+// Canonical metric names.
+
+// Crypto-op accounting (src/curve, src/ibc).
+inline constexpr const char* kPairing = "crypto.pairing";
+inline constexpr const char* kPairingReference = "crypto.pairing_reference";
+inline constexpr const char* kPairingFixed = "crypto.pairing_fixed";
+inline constexpr const char* kPairingPrecompBuild =
+    "crypto.pairing_precomp_build";
+inline constexpr const char* kPairingProduct = "crypto.pairing_product";
+inline constexpr const char* kPairingProductTerms =
+    "crypto.pairing_product_terms";
+inline constexpr const char* kFinalExp = "crypto.final_exp";
+inline constexpr const char* kPointMul = "crypto.point_mul";
+inline constexpr const char* kHashToPoint = "crypto.hash_to_point";
+
+// Network substrate (src/sim/network.cpp).
+inline constexpr const char* kNetMessages = "net.messages";
+inline constexpr const char* kNetBytes = "net.bytes";
+inline constexpr const char* kNetDropped = "net.dropped";
+inline constexpr const char* kNetDuplicated = "net.duplicated";
+inline constexpr const char* kNetCorrupted = "net.corrupted";
+inline constexpr const char* kNetUnreachable = "net.unreachable";
+inline constexpr const char* kNetReplayRejected = "net.replay_rejected";
+
+// Retrying transport (src/sim/transport.h) — mirrors DeliveryStats.
+inline constexpr const char* kTransportRequests = "transport.requests";
+inline constexpr const char* kTransportAttempts = "transport.attempts";
+inline constexpr const char* kTransportRetries = "transport.retries";
+inline constexpr const char* kTransportSucceeded = "transport.succeeded";
+inline constexpr const char* kTransportRejected = "transport.rejected";
+inline constexpr const char* kTransportGaveUp = "transport.gave_up";
+inline constexpr const char* kTransportDupSuppressed =
+    "transport.duplicates_suppressed";
+inline constexpr const char* kTransportResponsesLost =
+    "transport.responses_lost";
+inline constexpr const char* kTransportRequestNs = "transport.request_ns";
+
+// SSE index (src/sse/sse.cpp).
+inline constexpr const char* kSseIndexBuild = "sse.index_build";
+inline constexpr const char* kSseSearch = "sse.search";
+inline constexpr const char* kSseSearchHits = "sse.search_hits";
+
+// Replication / failover (src/core/cluster.cpp and the failover loops).
+inline constexpr const char* kSGroupFailover = "cluster.sserver.failover";
+inline constexpr const char* kSGroupMirrorWrites =
+    "cluster.sserver.mirror_writes";
+inline constexpr const char* kSGroupSync = "cluster.sserver.sync";
+inline constexpr const char* kAClusterFailover = "cluster.aserver.failover";
+
+// ---------------------------------------------------------------------------
+/// Exported view of one histogram: enough to print, diff, and re-import.
+struct HistogramSummary {
+  std::vector<double> bounds;    // bucket upper bounds, ascending
+  std::vector<uint64_t> counts;  // bounds.size() + 1 entries (last: overflow)
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // meaningful only when count > 0
+  double max = 0.0;
+
+  /// Estimated p-quantile (p in [0, 1]): the upper bound of the bucket where
+  /// the cumulative count crosses p·count, clamped to [min, max] so a
+  /// single-sample histogram reports that exact sample. Returns 0 when
+  /// empty. Monotone in p by construction.
+  [[nodiscard]] double percentile(double p) const;
+
+  bool operator==(const HistogramSummary&) const = default;
+};
+
+/// Fixed-bucket histogram. Bucket bounds never change after construction,
+/// which is what makes diff() between two snapshots meaningful.
+class Histogram {
+ public:
+  /// Default bounds: 1 µs … ~69 s in ×2 steps — spans everything the
+  /// simulated clock produces, from one SSE lookup to a retry storm.
+  static std::vector<double> default_latency_bounds();
+
+  explicit Histogram(std::vector<double> bounds = default_latency_bounds());
+
+  void record(double value);
+  [[nodiscard]] HistogramSummary summary() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+/// Point-in-time copy of every metric; value-semantic so tests can hold one
+/// from before an operation and diff it against one from after.
+struct Snapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+
+  /// Counters and histogram counts/sums become this-minus-earlier (missing
+  /// keys count as zero); gauges and histogram min/max keep this snapshot's
+  /// values (deltas of level quantities are not meaningful).
+  [[nodiscard]] Snapshot diff(const Snapshot& earlier) const;
+
+  [[nodiscard]] uint64_t counter(std::string_view name) const;
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+/// The registry. One per process is the normal deployment (obs::global()),
+/// but tests can create private ones to keep their deltas isolated.
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  void add(std::string_view name, uint64_t delta = 1);
+  void gauge_set(std::string_view name, int64_t value);
+  /// Records into the named histogram, creating it with default latency
+  /// bounds on first use (use declare_histogram for custom bounds).
+  void observe(std::string_view name, double value);
+  void declare_histogram(std::string_view name, std::vector<double> bounds);
+
+  [[nodiscard]] uint64_t counter(std::string_view name) const;
+  [[nodiscard]] int64_t gauge(std::string_view name) const;
+
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset();
+
+  /// Scoped-span recorder (trace.h); disabled until Tracer::enable.
+  [[nodiscard]] Tracer& tracer() noexcept { return *tracer_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, int64_t, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::unique_ptr<Tracer> tracer_;
+};
+
+// ---------------------------------------------------------------------------
+// Attachment: the process-wide active registry. Instrumentation throughout
+// the stack is a no-op until something attaches a registry.
+
+namespace detail {
+extern std::atomic<Registry*> g_attached;
+}
+
+/// Lazily-constructed process-wide registry (never destroyed; safe to use
+/// from static destructors of bench/test fixtures).
+Registry& global();
+
+inline void attach(Registry* r) noexcept {
+  detail::g_attached.store(r, std::memory_order_release);
+}
+[[nodiscard]] inline Registry* attached() noexcept {
+  return detail::g_attached.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation entry points. These — not Registry methods — are what the
+// rest of the codebase calls, so that HCPP_OBS=0 builds drop every site.
+
+#if HCPP_OBS
+/// True when a registry is attached. Lets call sites skip work (label
+/// concatenation, clock reads) that only matters while recording; constant
+/// false — so dead-code-eliminable — when HCPP_OBS=0.
+[[nodiscard]] inline bool recording() noexcept {
+  return attached() != nullptr;
+}
+inline void count(std::string_view name, uint64_t delta = 1) {
+  if (Registry* r = attached()) r->add(name, delta);
+}
+inline void gauge_set(std::string_view name, int64_t value) {
+  if (Registry* r = attached()) r->gauge_set(name, value);
+}
+inline void observe(std::string_view name, double value) {
+  if (Registry* r = attached()) r->observe(name, value);
+}
+#else
+[[nodiscard]] inline constexpr bool recording() noexcept { return false; }
+inline void count(std::string_view, uint64_t = 1) {}
+inline void gauge_set(std::string_view, int64_t) {}
+inline void observe(std::string_view, double) {}
+#endif
+
+}  // namespace hcpp::obs

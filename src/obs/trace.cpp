@@ -1,0 +1,92 @@
+#include "src/obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/sim/clock.h"
+
+namespace hcpp::obs {
+
+void Tracer::enable(const sim::Clock& clock, size_t max_spans) {
+  clock_ = &clock;
+  max_spans_ = max_spans;
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  open_.clear();
+  open_crypto_.clear();
+  dropped_ = 0;
+}
+
+Tracer::CryptoCounts Tracer::crypto_now() const {
+  CryptoCounts c;
+  c.pairing = owner_->counter(kPairing);
+  c.fixed = owner_->counter(kPairingFixed);
+  c.product_terms = owner_->counter(kPairingProductTerms);
+  c.point_mul = owner_->counter(kPointMul);
+  c.hash_to_point = owner_->counter(kHashToPoint);
+  return c;
+}
+
+int32_t Tracer::open(std::string_view name) {
+  if (clock_ == nullptr) return -1;
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return -1;
+  }
+  SpanRecord rec;
+  rec.name = std::string(name);
+  rec.start_ns = clock_->now();
+  rec.depth = static_cast<uint32_t>(open_.size());
+  rec.parent = open_.empty() ? -1 : open_.back();
+  int32_t index = static_cast<int32_t>(spans_.size());
+  spans_.push_back(std::move(rec));
+  open_.push_back(index);
+  open_crypto_.push_back(crypto_now());
+  return index;
+}
+
+void Tracer::close(int32_t index) {
+  if (index < 0 || clock_ == nullptr) return;
+  // Unwind to the matching entry: exceptions may close spans out of order,
+  // in which case every child still open closes at the same instant.
+  while (!open_.empty()) {
+    int32_t top = open_.back();
+    CryptoCounts at_open = open_crypto_.back();
+    open_.pop_back();
+    open_crypto_.pop_back();
+    SpanRecord& rec = spans_[static_cast<size_t>(top)];
+    CryptoCounts now = crypto_now();
+    rec.end_ns = clock_->now();
+    rec.pairings = (now.pairing - at_open.pairing) +
+                   (now.fixed - at_open.fixed) +
+                   (now.product_terms - at_open.product_terms);
+    rec.miller_loops_saved = now.fixed - at_open.fixed;
+    rec.point_muls = now.point_mul - at_open.point_mul;
+    rec.hash_to_points = now.hash_to_point - at_open.hash_to_point;
+    if (top == index) break;
+  }
+}
+
+std::string Tracer::format() const {
+  std::string out;
+  char line[256];
+  for (const SpanRecord& s : spans_) {
+    std::snprintf(line, sizeof(line),
+                  "%*s%s  %.3f ms  [pairings=%" PRIu64 " saved_miller=%" PRIu64
+                  " point_muls=%" PRIu64 " h2p=%" PRIu64 "]\n",
+                  static_cast<int>(2 * s.depth), "", s.name.c_str(),
+                  static_cast<double>(s.duration_ns()) / 1e6, s.pairings,
+                  s.miller_loops_saved, s.point_muls, s.hash_to_points);
+    out += line;
+  }
+  if (dropped_ > 0) {
+    std::snprintf(line, sizeof(line), "(+%zu spans dropped at cap)\n",
+                  dropped_);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace hcpp::obs

@@ -1,5 +1,6 @@
 #include "src/sim/network.h"
 
+#include "src/obs/metrics.h"
 #include "src/sim/transport.h"
 
 namespace hcpp::sim {
@@ -91,6 +92,7 @@ Delivery Network::transmit(const std::string& from, const std::string& to,
   if (!node_up_at(from, now) || !node_up_at(to, now) ||
       partitioned_at(from, to, now)) {
     verdict = Delivery::kDropped;
+    obs::count(obs::kNetUnreachable);
   } else if (plan_ != nullptr) {
     const LinkFaults& f = faults_for(from, to);
     if (f.jitter_ns > 0) latency += fault_rng_.u64() % (f.jitter_ns + 1);
@@ -112,6 +114,21 @@ Delivery Network::transmit(const std::string& from, const std::string& to,
   ps.bytes += bytes;
   total_.messages += 1;
   total_.bytes += bytes;
+  obs::count(obs::kNetMessages);
+  obs::count(obs::kNetBytes, bytes);
+  switch (verdict) {
+    case Delivery::kDropped:
+      obs::count(obs::kNetDropped);
+      break;
+    case Delivery::kDuplicated:
+      obs::count(obs::kNetDuplicated);
+      break;
+    case Delivery::kCorrupted:
+      obs::count(obs::kNetCorrupted);
+      break;
+    case Delivery::kDelivered:
+      break;
+  }
   return verdict;
 }
 
@@ -136,10 +153,14 @@ bool Network::accept_fresh(const std::string& receiver, BytesView tag,
   // replay carrying their (MAC-covered) timestamp is rejected as stale.
   std::erase_if(cache, [lo](const auto& kv) { return kv.second < lo; });
 
-  if (timestamp_ns < lo || timestamp_ns > hi) return false;
+  if (timestamp_ns < lo || timestamp_ns > hi) {
+    obs::count(obs::kNetReplayRejected);
+    return false;
+  }
   Bytes key(tag.begin(), tag.end());
   auto [pos, inserted] = cache.try_emplace(std::move(key), timestamp_ns);
   (void)pos;
+  if (!inserted) obs::count(obs::kNetReplayRejected);
   return inserted;
 }
 

@@ -39,9 +39,11 @@ uint64_t Transport::backoff_ns(uint32_t n) {
   return static_cast<uint64_t>(d);
 }
 
-void Transport::bump(DeliveryStats& ps, uint64_t DeliveryStats::* field) {
+void Transport::bump(DeliveryStats& ps, uint64_t DeliveryStats::* field,
+                     const char* metric) {
   ps.*field += 1;
   total_.*field += 1;
+  obs::count(metric);
 }
 
 }  // namespace hcpp::sim

@@ -30,6 +30,8 @@
 #include <utility>
 
 #include "src/common/bytes.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/network.h"
 
 namespace hcpp::sim {
@@ -97,16 +99,28 @@ class Transport {
       BytesView idempotency_key, const std::string& protocol,
       const std::function<std::optional<Resp>()>& handler,
       const std::function<size_t(const Resp&)>& response_size) {
+    obs::Span span("transport:", protocol);
+    const uint64_t t0 = net_->clock().now();
+    // Sim-clock time this exchange cost end to end (faults, backoff and
+    // timeouts included), total and per protocol.
+    auto observe_latency = [&] {
+      if (obs::recording()) {
+        double elapsed = static_cast<double>(net_->clock().now() - t0);
+        obs::observe(obs::kTransportRequestNs, elapsed);
+        obs::observe(std::string(obs::kTransportRequestNs) + "." + protocol,
+                     elapsed);
+      }
+    };
     DeliveryStats& ps = per_protocol_[protocol];
-    bump(ps, &DeliveryStats::requests);
+    bump(ps, &DeliveryStats::requests, obs::kTransportRequests);
     IdemKey key{to, Bytes(idempotency_key.begin(), idempotency_key.end())};
 
     for (uint32_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
       if (attempt > 1) {
-        bump(ps, &DeliveryStats::retries);
+        bump(ps, &DeliveryStats::retries, obs::kTransportRetries);
         net_->clock().advance(backoff_ns(attempt - 1));
       }
-      bump(ps, &DeliveryStats::attempts);
+      bump(ps, &DeliveryStats::attempts, obs::kTransportAttempts);
 
       Delivery req_leg = net_->transmit(from, to, request_bytes, protocol);
       if (req_leg == Delivery::kDropped || req_leg == Delivery::kCorrupted) {
@@ -120,7 +134,8 @@ class Transport {
       std::optional<Resp> resp;
       auto it = idem_.find(key);
       if (it != idem_.end()) {
-        bump(ps, &DeliveryStats::duplicates_suppressed);
+        bump(ps, &DeliveryStats::duplicates_suppressed,
+             obs::kTransportDupSuppressed);
         if (it->second.executed != nullptr) {
           resp = *std::static_pointer_cast<Resp>(it->second.executed);
         }
@@ -132,11 +147,13 @@ class Transport {
       }
       if (req_leg == Delivery::kDuplicated) {
         // The spurious second copy hits the idempotency layer and dies.
-        bump(ps, &DeliveryStats::duplicates_suppressed);
+        bump(ps, &DeliveryStats::duplicates_suppressed,
+             obs::kTransportDupSuppressed);
       }
 
       if (!resp.has_value()) {
-        bump(ps, &DeliveryStats::rejected);
+        bump(ps, &DeliveryStats::rejected, obs::kTransportRejected);
+        observe_latency();
         return {CallStatus::kRejected, std::nullopt, attempt};
       }
 
@@ -145,15 +162,18 @@ class Transport {
         Delivery resp_leg = net_->transmit(to, from, resp_bytes, protocol);
         if (resp_leg == Delivery::kDropped ||
             resp_leg == Delivery::kCorrupted) {
-          bump(ps, &DeliveryStats::responses_lost);
+          bump(ps, &DeliveryStats::responses_lost,
+               obs::kTransportResponsesLost);
           net_->clock().advance(policy_.timeout_ns);
           continue;  // the cached response answers the retry
         }
       }
-      bump(ps, &DeliveryStats::succeeded);
+      bump(ps, &DeliveryStats::succeeded, obs::kTransportSucceeded);
+      observe_latency();
       return {CallStatus::kOk, std::move(resp), attempt};
     }
-    bump(ps, &DeliveryStats::gave_up);
+    bump(ps, &DeliveryStats::gave_up, obs::kTransportGaveUp);
+    observe_latency();
     return {CallStatus::kExhausted, std::nullopt, policy_.max_attempts};
   }
 
@@ -171,7 +191,10 @@ class Transport {
   /// for the retry window of its own exchange, never forever.
   static constexpr size_t kMaxIdemEntries = 4096;
 
-  void bump(DeliveryStats& ps, uint64_t DeliveryStats::* field);
+  /// Advances one DeliveryStats field (per-protocol + total) and mirrors it
+  /// into the attached registry under `metric`.
+  void bump(DeliveryStats& ps, uint64_t DeliveryStats::* field,
+            const char* metric);
   void remember(const IdemKey& key, CacheEntry entry);
 
   Network* net_;

@@ -8,6 +8,8 @@
 #include "src/cipher/chacha20.h"
 #include "src/hash/hmac.h"
 #include "src/hash/sha256.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/prf/feistel.h"
 #include "src/prf/prf.h"
 
@@ -124,6 +126,8 @@ SecureIndex build_index(std::span<const PlainFile> files, const Keys& keys,
   if (padding_factor < 1.0) {
     throw std::invalid_argument("build_index: padding_factor < 1");
   }
+  obs::Span span("sse:index_build");
+  obs::count(obs::kSseIndexBuild);
   // Invert the file->keywords relation (ordered for determinism).
   std::map<std::string, std::vector<FileId>> postings;
   for (const PlainFile& f : files) {
@@ -188,6 +192,8 @@ Trapdoor make_trapdoor(const Keys& keys, std::string_view kw) {
 }
 
 std::vector<FileId> search(const SecureIndex& index, const Trapdoor& td) {
+  obs::Span span("sse:search");
+  obs::count(obs::kSseSearch);
   std::vector<FileId> result;
   auto it = index.table_t.find(hex_encode(td.address));
   if (it == index.table_t.end()) return result;
@@ -212,6 +218,7 @@ std::vector<FileId> search(const SecureIndex& index, const Trapdoor& td) {
     addr = 0;
     for (int i = 0; i < 8; ++i) addr = (addr << 8) | node[41 + i];
   }
+  obs::count(obs::kSseSearchHits, result.size());
   return result;
 }
 

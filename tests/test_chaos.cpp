@@ -9,6 +9,7 @@
 
 #include "src/core/cluster.h"
 #include "src/core/setup.h"
+#include "src/obs/metrics.h"
 #include "src/sim/transport.h"
 
 namespace hcpp::core {
@@ -274,6 +275,58 @@ TEST(StorageFailover, RevokeFansOutToAllReplicas) {
     EXPECT_EQ(r.error().code, ErrorCode::kRevoked);
   }
 }
+
+#if HCPP_OBS
+/// Attaches a private registry for one test body, restoring the previous
+/// attachment even when an ASSERT bails out early.
+struct ScopedRegistry {
+  obs::Registry reg;
+  obs::Registry* previous = obs::attached();
+  ScopedRegistry() { obs::attach(&reg); }
+  ~ScopedRegistry() { obs::attach(previous); }
+};
+
+TEST(StorageFailover, PartitionFailoverCountersMatchDeliveryStats) {
+  GroupRig rig(3);
+  ASSERT_TRUE(rig.patient->store_phi(*rig.group).ok());
+  ScopedRegistry scoped;
+  rig.net.transport().reset_stats();
+
+  // Permanently partition the patient from replica 0; a short retry budget
+  // makes the walk past the unreachable replica quick.
+  sim::FaultPlan plan;
+  plan.seed = 41;
+  plan.partitions.push_back(
+      {"pat", rig.group->replica(0).id(), 0, UINT64_MAX});
+  rig.net.set_fault_plan(plan);
+  sim::RetryPolicy quick;
+  quick.max_attempts = 2;
+  rig.net.transport().set_policy(quick);
+
+  std::vector<std::string> kws = {
+      rig.patient->keyword_index().dictionary().front()};
+  Result<std::vector<sse::PlainFile>> got =
+      rig.patient->retrieve(*rig.group, kws);
+  ASSERT_TRUE(got.ok());
+
+  // The registry's transport counters are the same numbers DeliveryStats
+  // accumulated, and the group failover count explains every exhausted
+  // replica: one abandoned request (replica 0, behind the partition), one
+  // failover, then success on replica 1.
+  sim::DeliveryStats t = rig.net.transport().total();
+  obs::Snapshot s = scoped.reg.snapshot();
+  EXPECT_EQ(s.counter(obs::kTransportRequests), t.requests);
+  EXPECT_EQ(s.counter(obs::kTransportAttempts), t.attempts);
+  EXPECT_EQ(s.counter(obs::kTransportRetries), t.retries);
+  EXPECT_EQ(s.counter(obs::kTransportGaveUp), t.gave_up);
+  EXPECT_GT(t.retries, 0u);
+  EXPECT_EQ(t.gave_up, 1u);
+  EXPECT_EQ(s.counter(obs::kSGroupFailover), t.gave_up);
+  EXPECT_EQ(s.counter(obs::kTransportSucceeded), 1u);
+  // The partition surfaced in the substrate accounting too.
+  EXPECT_GT(s.counter(obs::kNetUnreachable), 0u);
+}
+#endif  // HCPP_OBS
 
 // ---- Replicated authority (§VI.D) -------------------------------------------
 

@@ -3,21 +3,35 @@
 # google-benchmark JSON reports at the repo root:
 #   BENCH_pairing.json    — bench_computation (pairing + primitive costs)
 #   BENCH_protocols.json  — bench_protocols (end-to-end protocol runs)
+#   BENCH_metrics.json    — bench_protocols metrics-registry snapshot
+#                           (crypto-op counters, transport stats, latency
+#                           histograms with p50/p95/p99)
 #
 # Usage: tools/run_benchmarks.sh [build-dir]
 # Builds the benches if the build directory lacks them (needs HCPP_BENCH=ON,
 # the default). Repetitions can be raised with BENCH_REPS (default 1).
+# Fails fast: a missing binary after the build, or a bench exiting non-zero,
+# aborts the whole run rather than leaving stale report files behind.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 reps="${BENCH_REPS:-1}"
 
-if [[ ! -x "$build_dir/bench/bench_computation" ]]; then
+if [[ ! -x "$build_dir/bench/bench_computation" ||
+      ! -x "$build_dir/bench/bench_protocols" ]]; then
   cmake -B "$build_dir" -S "$repo_root" -DHCPP_BENCH=ON
   cmake --build "$build_dir" -j "$(nproc)" \
     --target bench_computation bench_protocols
 fi
+
+for bin in bench_computation bench_protocols; do
+  if [[ ! -x "$build_dir/bench/$bin" ]]; then
+    echo "error: $build_dir/bench/$bin still missing after the build" \
+         "(HCPP_BENCH=OFF in the cache?)" >&2
+    exit 1
+  fi
+done
 
 # bench_computation is a google-benchmark binary: native JSON report.
 "$build_dir/bench/bench_computation" \
@@ -27,8 +41,10 @@ fi
 echo "wrote $repo_root/BENCH_pairing.json"
 
 # bench_protocols is a table-printing harness (messages/bytes per protocol
-# phase); convert its rows to the same {"benchmarks": [...]} shape.
-"$build_dir/bench/bench_protocols" | python3 -c '
+# phase); convert its rows to the same {"benchmarks": [...]} shape. The same
+# run dumps its metrics-registry snapshot as BENCH_metrics.json.
+"$build_dir/bench/bench_protocols" \
+  --metrics-out="$repo_root/BENCH_metrics.json" | python3 -c '
 import json, re, sys
 rows = []
 for line in sys.stdin:
@@ -42,3 +58,9 @@ json.dump({"context": {"source": "bench_protocols"}, "benchmarks": rows},
           sys.stdout, indent=2)
 ' > "$repo_root/BENCH_protocols.json"
 echo "wrote $repo_root/BENCH_protocols.json"
+
+if [[ ! -s "$repo_root/BENCH_metrics.json" ]]; then
+  echo "error: bench_protocols did not produce BENCH_metrics.json" >&2
+  exit 1
+fi
+echo "wrote $repo_root/BENCH_metrics.json"
