@@ -1,6 +1,8 @@
 #include "src/curve/ec.h"
 
+#include <span>
 #include <stdexcept>
+#include <vector>
 
 #include "src/curve/pairing.h"
 #include "src/hash/sha256.h"
@@ -140,6 +142,65 @@ Jac jac_dbl(const CurveCtx& ctx, const Jac& pt) {
   return r;
 }
 
+// General Jacobian addition (add-2007-bl), used when neither operand is
+// affine — e.g. while growing the odd-multiples table before its single
+// batch normalization.
+Jac jac_add(const CurveCtx& ctx, const Jac& a, const Jac& b) {
+  if (a.infinity) return b;
+  if (b.infinity) return a;
+  Fp z1z1 = a.z.sqr();
+  Fp z2z2 = b.z.sqr();
+  Fp u1 = a.x * z2z2;
+  Fp u2 = b.x * z1z1;
+  Fp s1 = a.y * z2z2 * b.z;
+  Fp s2 = b.y * z1z1 * a.z;
+  if (u1 == u2) {
+    if (s1 == s2) return jac_dbl(ctx, a);
+    return Jac{};
+  }
+  Fp h = u2 - u1;
+  Fp i = (h + h).sqr();
+  Fp j = h * i;
+  Fp rr = s2 - s1;
+  rr = rr + rr;
+  Fp v = u1 * i;
+  Jac r;
+  r.x = rr.sqr() - j - v - v;
+  Fp two_s1j = s1 * j;
+  two_s1j = two_s1j + two_s1j;
+  r.y = rr * (v - r.x) - two_s1j;
+  r.z = ((a.z + b.z).sqr() - z1z1 - z2z2) * h;
+  r.infinity = false;
+  return r;
+}
+
+// Batch Jacobian→affine conversion: one shared modular inversion
+// (Montgomery's trick in MontCtx::batch_inv) for the whole span, instead of
+// one per point. Infinity entries pass through untouched; every finite
+// Jacobian point has z != 0, so the batch never sees a zero.
+std::vector<Point> jac_normalize_batch(const CurveCtx& ctx,
+                                       std::span<const Jac> pts) {
+  std::vector<mp::U512> zs;
+  zs.reserve(pts.size());
+  for (const Jac& j : pts) {
+    if (!j.infinity) zs.push_back(j.z.raw());
+  }
+  ctx.fp.mont.batch_inv(zs);
+  std::vector<Point> out(pts.size());
+  size_t zi = 0;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const Jac& j = pts[i];
+    if (j.infinity) {
+      out[i] = Point::at_infinity();
+      continue;
+    }
+    Fp zinv = Fp::from_raw(&ctx.fp, zs[zi++]);
+    Fp zinv2 = zinv.sqr();
+    out[i] = Point{j.x * zinv2, j.y * zinv2 * zinv, false};
+  }
+  return out;
+}
+
 // Mixed addition: q is affine (z = 1).
 Jac jac_add_affine(const CurveCtx& ctx, const Jac& a, const Point& b) {
   if (b.infinity) return a;
@@ -206,12 +267,14 @@ Point mul_wnaf(const CurveCtx& ctx, const Point& a, const mp::U512& k) {
     naf.push_back(digit);
     rem = mp::shr1(rem);
   }
-  // Odd multiples 1a, 3a, …, 15a (affine, so the loop can use mixed
-  // Jacobian additions).
-  Point table[8];
-  table[0] = a;
-  Point twice = dbl(ctx, a);
-  for (int i = 1; i < 8; ++i) table[i] = add(ctx, table[i - 1], twice);
+  // Odd multiples 1a, 3a, …, 15a, grown in Jacobian form and flattened to
+  // affine with one batch inversion (down from the eight inversions of the
+  // old affine dbl/add chain); the main loop then uses mixed additions.
+  Jac jtab[8];
+  jtab[0] = to_jac(ctx, a);
+  Jac twice = jac_dbl(ctx, jtab[0]);
+  for (int i = 1; i < 8; ++i) jtab[i] = jac_add(ctx, jtab[i - 1], twice);
+  std::vector<Point> table = jac_normalize_batch(ctx, std::span<const Jac>(jtab));
   Jac acc;
   for (size_t i = naf.size(); i-- > 0;) {
     acc = jac_dbl(ctx, acc);
@@ -227,17 +290,34 @@ constexpr size_t kFixedBaseWindow = 4;
 constexpr size_t kFixedBaseWindows = mp::kBits / kFixedBaseWindow;
 
 void build_fixed_base_table(const CurveCtx& ctx) {
-  ctx.fixed_base_table.assign(kFixedBaseWindows, {});
-  Point base = generator(ctx);
+  // Phase 1: the 128 window bases 16^j · G by repeated Jacobian doubling,
+  // normalized together. G generates the odd-prime-order subgroup, so no
+  // base (nor any v·16^j·G below) is ever the identity.
+  std::vector<Jac> bases(kFixedBaseWindows);
+  Jac base = to_jac(ctx, generator(ctx));
   for (size_t j = 0; j < kFixedBaseWindows; ++j) {
-    std::vector<Point>& row = ctx.fixed_base_table[j];
-    row.reserve(15);
-    Point acc = base;  // v = 1
+    bases[j] = base;
+    for (int d = 0; d < 4; ++d) base = jac_dbl(ctx, base);
+  }
+  std::vector<Point> affine_bases = jac_normalize_batch(ctx, bases);
+  // Phase 2: all 128 × 15 entries v · 16^j · G via mixed additions on the
+  // affine bases, again normalized with a single shared inversion. The whole
+  // table build costs two inversions instead of one per affine addition
+  // (~2k of them).
+  std::vector<Jac> entries;
+  entries.reserve(kFixedBaseWindows * 15);
+  for (size_t j = 0; j < kFixedBaseWindows; ++j) {
+    Jac acc = to_jac(ctx, affine_bases[j]);
     for (int v = 1; v <= 15; ++v) {
-      row.push_back(acc);
-      acc = add(ctx, acc, base);
+      entries.push_back(acc);
+      acc = jac_add_affine(ctx, acc, affine_bases[j]);
     }
-    base = acc;  // 16 · (16^j · G) = 16^{j+1} · G
+  }
+  std::vector<Point> flat = jac_normalize_batch(ctx, entries);
+  ctx.fixed_base_table.assign(kFixedBaseWindows, {});
+  for (size_t j = 0; j < kFixedBaseWindows; ++j) {
+    ctx.fixed_base_table[j].assign(flat.begin() + static_cast<long>(j * 15),
+                                   flat.begin() + static_cast<long>((j + 1) * 15));
   }
 }
 }  // namespace

@@ -158,15 +158,34 @@ PairingPrecomp::PairingPrecomp(const CurveCtx& ctx, const Point& p)
   // One doubling line per loop iteration plus one addition line per set bit;
   // record them in exactly the order pairing_with will consume them.
   const size_t nbits = ctx.q.bit_length();
-  lines_.reserve(2 * nbits);
+  std::vector<LineCoeffs> raw;
+  raw.reserve(2 * nbits);
   MillerPoint v = miller_start(ctx, p);
   for (size_t i = nbits - 1; i-- > 0;) {
-    LineCoeffs lc = double_step(v);
-    lines_.push_back({lc.c0, lc.c1, lc.c2, lc.ident});
-    if (ctx.q.bit(i)) {
-      lc = add_step(v, p.x, p.y);
-      lines_.push_back({lc.c0, lc.c1, lc.c2, lc.ident});
+    raw.push_back(double_step(v));
+    if (ctx.q.bit(i)) raw.push_back(add_step(v, p.x, p.y));
+  }
+  // Normalize each line by its c2 (2YZ³·Z² for tangents, 2HZ for chords —
+  // never zero on a non-degenerate step). Dividing a line by an F_p scalar
+  // changes the pairing value only by a factor the final exponentiation
+  // kills, and the normalized form drops the c2·y_Q multiplication from
+  // every pairing_with line evaluation. One batch inversion for the whole
+  // cache via Montgomery's trick.
+  std::vector<mp::U512> c2s;
+  c2s.reserve(raw.size());
+  for (const LineCoeffs& lc : raw) {
+    if (!lc.ident) c2s.push_back(lc.c2.raw());
+  }
+  ctx.fp.mont.batch_inv(c2s);
+  lines_.reserve(raw.size());
+  size_t k = 0;
+  for (const LineCoeffs& lc : raw) {
+    if (lc.ident) {
+      lines_.push_back({Fp(), Fp(), true});
+      continue;
     }
+    Fp c2inv = Fp::from_raw(&ctx.fp, c2s[k++]);
+    lines_.push_back({lc.c0 * c2inv, lc.c1 * c2inv, false});
   }
 }
 
@@ -187,10 +206,10 @@ Gt PairingPrecomp::pairing_with(const Point& q) const {
   for (size_t i = ctx_->q.bit_length() - 1; i-- > 0;) {
     f = f.sqr();
     const Line& dl = lines_[k++];
-    if (!dl.ident) f = f * Fp2(dl.c0 + dl.c1 * xq, dl.c2 * yq);
+    if (!dl.ident) f = f * Fp2(dl.c0 + dl.c1 * xq, yq);
     if (ctx_->q.bit(i)) {
       const Line& al = lines_[k++];
-      if (!al.ident) f = f * Fp2(al.c0 + al.c1 * xq, al.c2 * yq);
+      if (!al.ident) f = f * Fp2(al.c0 + al.c1 * xq, yq);
     }
   }
   return final_exponentiation(*ctx_, f);

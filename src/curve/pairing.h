@@ -67,11 +67,15 @@ Gt pairing(const CurveCtx& ctx, const Point& p_in, const Point& q_in);
 Gt pairing_reference(const CurveCtx& ctx, const Point& p_in,
                      const Point& q_in);
 
-/// Cached Miller-loop line coefficients for a fixed first argument P. Each
-/// line is stored as (c0, c1, c2) with value (c0 + c1·x_Q) + (c2·y_Q)·i, so
-/// pairing_with(Q) only evaluates lines — no point arithmetic at all.
-/// Because ê is symmetric, a fixed argument on *either* side of a pairing
-/// can be hoisted through this type.
+/// Cached Miller-loop line coefficients for a fixed first argument P. The
+/// loop emits each line as (c0, c1, c2) with value (c0 + c1·x_Q) +
+/// (c2·y_Q)·i; the constructor divides every non-degenerate line by its c2
+/// (one batch inversion for the whole cache — c2 is a nonzero F_p factor,
+/// annihilated by the final exponentiation like every other line scale), so
+/// the stored form is (c0, c1) with value (c0 + c1·x_Q) + y_Q·i and
+/// pairing_with(Q) pays one F_p multiplication less per line — no point
+/// arithmetic at all. Because ê is symmetric, a fixed argument on *either*
+/// side of a pairing can be hoisted through this type.
 class PairingPrecomp {
  public:
   PairingPrecomp() = default;
@@ -88,7 +92,7 @@ class PairingPrecomp {
 
  private:
   struct Line {
-    field::Fp c0, c1, c2;
+    field::Fp c0, c1;    // c2-normalized: value is (c0 + c1·x_Q) + y_Q·i
     bool ident = false;  // line degenerated to 1 (post-infinity steps)
   };
   const CurveCtx* ctx_ = nullptr;

@@ -1,7 +1,10 @@
-// Fixed-width 512-bit unsigned integer arithmetic. All HCPP field and group
-// elements fit in 512 bits; smaller parameter sets simply leave high limbs
-// zero, which keeps every code path uniform (and branch-free where it
-// matters). Limbs are little-endian 64-bit words.
+// Fixed-width 512-bit unsigned integer storage and generic arithmetic. All
+// HCPP field and group elements fit in 512 bits; smaller parameter sets
+// leave the high limbs zero. Storage stays a uniform 8 limbs, but the hot
+// arithmetic is width-aware: MontCtx (mont.h) derives its active limb count
+// from the modulus and only the helpers here — parameter generation,
+// hashing, the division-based reductions — run full-width. Limbs are
+// little-endian 64-bit words.
 #pragma once
 
 #include <array>

@@ -8,22 +8,38 @@
 #                           histograms with p50/p95/p99)
 #
 # Usage: tools/run_benchmarks.sh [build-dir]
-# Builds the benches if the build directory lacks them (needs HCPP_BENCH=ON,
-# the default). Repetitions can be raised with BENCH_REPS (default 1).
+# Always configures the bench build directory with an explicit optimized
+# CMAKE_BUILD_TYPE (BENCH_BUILD_TYPE, default Release; RelWithDebInfo also
+# accepted) so numbers are never taken from an accidental debug build, and
+# defaults to a dedicated build-bench/ directory so it cannot repurpose a
+# developer's test build tree. Repetitions can be raised with BENCH_REPS
+# (default 1). After the run, the google-benchmark JSON context is checked:
+# a report whose "library_build_type" is "debug" is deleted and the script
+# aborts. (The prebuilt libbenchmark.so reports its own build type, not the
+# binary's, so bench_computation substitutes a reporter that derives the
+# field from the bench binary's NDEBUG — the thing actually measured.)
 # Fails fast: a missing binary after the build, or a bench exiting non-zero,
 # aborts the whole run rather than leaving stale report files behind.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
+build_dir="${1:-$repo_root/build-bench}"
 reps="${BENCH_REPS:-1}"
+build_type="${BENCH_BUILD_TYPE:-Release}"
 
-if [[ ! -x "$build_dir/bench/bench_computation" ||
-      ! -x "$build_dir/bench/bench_protocols" ]]; then
-  cmake -B "$build_dir" -S "$repo_root" -DHCPP_BENCH=ON
-  cmake --build "$build_dir" -j "$(nproc)" \
-    --target bench_computation bench_protocols
-fi
+case "$build_type" in
+  Release|RelWithDebInfo) ;;
+  *)
+    echo "error: BENCH_BUILD_TYPE must be Release or RelWithDebInfo," \
+         "got '$build_type'" >&2
+    exit 1
+    ;;
+esac
+
+cmake -B "$build_dir" -S "$repo_root" -DHCPP_BENCH=ON \
+  -DCMAKE_BUILD_TYPE="$build_type"
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target bench_computation bench_protocols
 
 for bin in bench_computation bench_protocols; do
   if [[ ! -x "$build_dir/bench/$bin" ]]; then
@@ -38,6 +54,20 @@ done
   --benchmark_repetitions="$reps" \
   --benchmark_out_format=json \
   --benchmark_out="$repo_root/BENCH_pairing.json" >/dev/null
+
+# Refuse to publish numbers measured from a debug build.
+python3 - "$repo_root/BENCH_pairing.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    report = json.load(f)
+build = report.get("context", {}).get("library_build_type", "missing")
+if build != "release":
+    import os
+    os.unlink(path)
+    sys.exit(f"error: benchmark report says library_build_type={build!r}; "
+             "refusing to keep numbers from a non-optimized build")
+EOF
 echo "wrote $repo_root/BENCH_pairing.json"
 
 # bench_protocols is a table-printing harness (messages/bytes per protocol
