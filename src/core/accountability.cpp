@@ -1,6 +1,7 @@
 #include "src/core/accountability.h"
 
 #include <algorithm>
+#include <optional>
 
 namespace hcpp::core {
 
@@ -30,26 +31,102 @@ bool verify_trace(const ibc::PublicParams& pub, const TraceRecord& tr) {
   }
 }
 
+namespace {
+/// The trace matching rd (same physician, pseudonym, t11), or nullptr.
+const TraceRecord* find_trace(std::span<const TraceRecord> traces,
+                              const RdRecord& rd) {
+  for (const TraceRecord& tr : traces) {
+    if (tr.physician_id == rd.physician_id && tr.t11 == rd.t11 &&
+        ct_equal(tr.tp, rd.tp)) {
+      return &tr;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<ibc::IbsBatchItem> rd_batch_item(const ibc::PublicParams& pub,
+                                               const std::string& aserver_id,
+                                               const RdRecord& rd) {
+  try {
+    return ibc::IbsBatchItem{
+        aserver_id, rd_statement(rd.physician_id, rd.tp, rd.t11),
+        ibc::IbsSignature::from_bytes(*pub.ctx, rd.aserver_sig)};
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<ibc::IbsBatchItem> trace_batch_item(const ibc::PublicParams& pub,
+                                                  const TraceRecord& tr) {
+  try {
+    EmergencyAuthRequest req;
+    req.physician_id = tr.physician_id;
+    req.tp = tr.tp;
+    req.t = tr.t10;
+    return ibc::IbsBatchItem{
+        tr.physician_id, req.body(),
+        ibc::IbsSignature::from_bytes(*pub.ctx, tr.physician_sig)};
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+}  // namespace
+
 AuditReport audit(const ibc::PublicParams& pub, const std::string& aserver_id,
                   std::span<const TraceRecord> traces,
                   std::span<const RdRecord> records,
-                  const std::set<std::string>& permitted_keywords) {
+                  const std::set<std::string>& permitted_keywords,
+                  par::ThreadPool* pool) {
   AuditReport report;
-  for (const RdRecord& rd : records) {
-    if (!verify_rd(pub, aserver_id, rd)) {
+
+  // Round 1: every RD carries an A-server signature — one shared identity,
+  // so the batch computes ê(H1(A), Ppub) once for all of them.
+  std::vector<ibc::IbsBatchItem> rd_items;
+  std::vector<size_t> rd_slot(records.size(), SIZE_MAX);
+  for (size_t i = 0; i < records.size(); ++i) {
+    std::optional<ibc::IbsBatchItem> item =
+        rd_batch_item(pub, aserver_id, records[i]);
+    if (item.has_value()) {
+      rd_slot[i] = rd_items.size();
+      rd_items.push_back(std::move(*item));
+    }
+  }
+  std::vector<uint8_t> rd_ok = ibc::ibs_verify_batch(pub, rd_items, pool);
+
+  // Round 2: traces matched by a verified RD, keyed by trace pointer so a
+  // trace referenced twice is only verified once.
+  std::vector<const TraceRecord*> rd_match(records.size(), nullptr);
+  std::vector<ibc::IbsBatchItem> tr_items;
+  std::vector<const TraceRecord*> tr_of_item;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (rd_slot[i] == SIZE_MAX || !rd_ok[rd_slot[i]]) continue;
+    const TraceRecord* match = find_trace(traces, records[i]);
+    if (match == nullptr) continue;
+    rd_match[i] = match;
+    if (std::find(tr_of_item.begin(), tr_of_item.end(), match) ==
+        tr_of_item.end()) {
+      std::optional<ibc::IbsBatchItem> item = trace_batch_item(pub, *match);
+      if (item.has_value()) {
+        tr_items.push_back(std::move(*item));
+        tr_of_item.push_back(match);
+      }
+    }
+  }
+  std::vector<uint8_t> tr_ok = ibc::ibs_verify_batch(pub, tr_items, pool);
+  auto trace_verified = [&](const TraceRecord* tr) {
+    for (size_t j = 0; j < tr_of_item.size(); ++j) {
+      if (tr_of_item[j] == tr) return tr_ok[j] != 0;
+    }
+    return false;
+  };
+
+  for (size_t i = 0; i < records.size(); ++i) {
+    const RdRecord& rd = records[i];
+    if (rd_slot[i] == SIZE_MAX || !rd_ok[rd_slot[i]]) {
       ++report.inconsistencies;
       continue;
     }
-    // Find the matching trace: same physician, same pseudonym, same t11.
-    const TraceRecord* match = nullptr;
-    for (const TraceRecord& tr : traces) {
-      if (tr.physician_id == rd.physician_id && tr.t11 == rd.t11 &&
-          ct_equal(tr.tp, rd.tp)) {
-        match = &tr;
-        break;
-      }
-    }
-    if (match == nullptr || !verify_trace(pub, *match)) {
+    if (rd_match[i] == nullptr || !trace_verified(rd_match[i])) {
       ++report.inconsistencies;
       continue;
     }

@@ -29,10 +29,14 @@ struct AuditReport {
   size_t inconsistencies = 0;
 };
 
-/// Cross-checks the P-device's RD log against the A-server's TR log.
+/// Cross-checks the P-device's RD log against the A-server's TR log. The
+/// signature checks dominate (two pairings each); with a pool they run as
+/// two ibs_verify_batch rounds — all RD signatures, then the traces matched
+/// by verified RDs — before the serial cross-referencing pass.
 AuditReport audit(const ibc::PublicParams& pub, const std::string& aserver_id,
                   std::span<const TraceRecord> traces,
                   std::span<const RdRecord> records,
-                  const std::set<std::string>& permitted_keywords);
+                  const std::set<std::string>& permitted_keywords,
+                  par::ThreadPool* pool = nullptr);
 
 }  // namespace hcpp::core

@@ -80,9 +80,10 @@ Result<std::vector<sse::PlainFile>> privileged_retrieve(
   req2.collection = pb.collection;
   size_t alias_slot = static_cast<size_t>(net.clock().now() / 1000) %
                       std::max<uint32_t>(1, pb.alias_count);
+  sse::TrapdoorGen gen(pb.keys);  // one key schedule for the keyword batch
   for (const std::string& kw : keywords) {
-    req2.wrapped_trapdoors.push_back(sse::wrap_trapdoor(
-        *d, sse::make_trapdoor(pb.keys, keyword_alias(kw, alias_slot))));
+    req2.wrapped_trapdoors.push_back(
+        sse::wrap_trapdoor(*d, gen.make(keyword_alias(kw, alias_slot))));
   }
   req2.t = net.clock().now();
   req2.mac = protocol_mac(pb.nu, kPrivLabel, req2.body(), req2.t);
@@ -182,9 +183,11 @@ std::optional<RetrieveResponse> SServer::handle_privileged_retrieve(
 
   obs::Span lookup("sse:lookup");
   std::set<sse::FileId> matched;
-  for (const Bytes& wrapped : req.wrapped_trapdoors) {
-    // θ_d^{-1} then the embedded validity tag — stale-d submissions fail here.
-    std::optional<sse::Trapdoor> td = sse::unwrap_trapdoor(acct->d, wrapped);
+  // Batch θ_d^{-1}: one Feistel key schedule across the whole request. The
+  // embedded validity tag rejects stale-d submissions per trapdoor.
+  std::vector<std::optional<sse::Trapdoor>> tds =
+      sse::unwrap_trapdoors(acct->d, req.wrapped_trapdoors);
+  for (const std::optional<sse::Trapdoor>& td : tds) {
     if (!td.has_value()) continue;
     for (sse::FileId id : sse::search(acct->index, *td)) matched.insert(id);
   }

@@ -80,6 +80,18 @@ SServer::Account* SServer::find_account(BytesView tp,
   return it == accounts_.end() ? nullptr : &it->second;
 }
 
+std::map<std::string, AccountSnapshot> SServer::snapshot_accounts() const {
+  std::map<std::string, AccountSnapshot> out;
+  for (const auto& [key, acct] : accounts_) {
+    AccountSnapshot snap;
+    snap.index = std::make_shared<const sse::SecureIndex>(acct.index);
+    snap.files = std::make_shared<const sse::EncryptedCollection>(acct.files);
+    snap.d = acct.d;
+    out.emplace(key, std::move(snap));
+  }
+  return out;
+}
+
 Bytes SServer::shared_key_for(BytesView tp_bytes) const {
   obs::Span span("crypto:shared_key");
   curve::Point tp = curve::point_from_bytes(*ctx_, tp_bytes);

@@ -35,6 +35,16 @@ class SServer;
 class SServerGroup;   // cluster.h — replicated hospital storage (§VI.D)
 class AServerCluster;  // cluster.h — replicated state authority (§VI.D)
 
+/// Immutable point-in-time copy of one account's searchable state, shared
+/// read-only across SEARCH workers (search_service.h). The shared_ptrs keep
+/// a snapshot alive for in-flight queries even after the live server mutates
+/// or republishes the account.
+struct AccountSnapshot {
+  std::shared_ptr<const sse::SecureIndex> index;
+  std::shared_ptr<const sse::EncryptedCollection> files;
+  Bytes d;  // current privilege key for θ_d unwrap
+};
+
 // ---------------------------------------------------------------------------
 /// State A-server: trusted government authority (§III.A). Owns the IBC
 /// domain (PKG), tracks on-duty physicians, runs the emergency
@@ -155,6 +165,14 @@ class SServer {
     return mhi_store_.size();
   }
 
+  /// Copies every account into immutable snapshots for the concurrent SEARCH
+  /// front-end (search_service.h). Keys are account_key(tp, collection).
+  [[nodiscard]] std::map<std::string, AccountSnapshot> snapshot_accounts()
+      const;
+  /// The account-map key for a pseudonym + collection pair (public so the
+  /// search service and its clients can address snapshots).
+  static std::string account_key(BytesView tp, const std::string& collection);
+
  private:
   struct Account {
     sse::SecureIndex index;
@@ -169,7 +187,6 @@ class SServer {
   };
 
   Account* find_account(BytesView tp, const std::string& collection);
-  static std::string account_key(BytesView tp, const std::string& collection);
 
   sim::Network* net_;
   std::string id_;

@@ -66,11 +66,11 @@ Result<std::vector<sse::PlainFile>> Patient::try_retrieve(
   RetrieveRequest req;
   req.tp = tp_bytes();
   req.collection = collection_;
+  sse::TrapdoorGen gen(keys_);  // one ϖ_c/f_b key schedule for the batch
   for (const std::string& kw : keywords) {
     // Rotate through aliases so repeated same-keyword searches look
     // unrelated to the server (§VI.B).
-    req.trapdoors.push_back(
-        sse::make_trapdoor(keys_, next_alias(kw)).to_bytes());
+    req.trapdoors.push_back(gen.make(next_alias(kw)).to_bytes());
   }
   Bytes nu = shared_key_nu();
   req.t = net_->clock().now();
@@ -90,8 +90,9 @@ Result<std::vector<sse::PlainFile>> Patient::retrieve(
   // One prepared request (one alias rotation step), failed over across the
   // replicas; a fresh timestamp/MAC per replica keeps replay caches honest.
   std::vector<Bytes> trapdoors;
+  sse::TrapdoorGen gen(keys_);
   for (const std::string& kw : keywords) {
-    trapdoors.push_back(sse::make_trapdoor(keys_, next_alias(kw)).to_bytes());
+    trapdoors.push_back(gen.make(next_alias(kw)).to_bytes());
   }
   Bytes nu = shared_key_nu();
   uint32_t attempts = 0;
@@ -119,9 +120,9 @@ std::vector<sse::PlainFile> Patient::retrieve_anonymous(
   RetrieveRequest req;
   req.tp = tp_bytes();
   req.collection = collection_;
+  sse::TrapdoorGen gen(keys_);
   for (const std::string& kw : keywords) {
-    req.trapdoors.push_back(
-        sse::make_trapdoor(keys_, next_alias(kw)).to_bytes());
+    req.trapdoors.push_back(gen.make(next_alias(kw)).to_bytes());
   }
   Bytes nu = shared_key_nu();
   req.t = net_->clock().now();

@@ -1,0 +1,80 @@
+#include "src/core/search_service.h"
+
+#include <set>
+
+#include "src/obs/trace.h"
+#include "src/par/pool.h"
+#include "src/sse/sse.h"
+
+namespace hcpp::core {
+
+void SearchService::publish(const SServer& server) {
+  auto snap = std::make_shared<const SnapshotMap>(server.snapshot_accounts());
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<const SearchService::SnapshotMap> SearchService::current()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+size_t SearchService::account_count() const { return current()->size(); }
+
+SearchService::Result SearchService::answer(const SnapshotMap& snap,
+                                            const Query& q) {
+  Result res;
+  auto it = snap.find(q.account);
+  if (it == snap.end()) return res;
+  const AccountSnapshot& acct = it->second;
+  res.account_found = true;
+
+  std::set<sse::FileId> matched;
+  if (q.privileged) {
+    // One θ_d key schedule for the whole query; invalid blobs (stale d,
+    // corruption) contribute nothing. Serial here — the query already runs
+    // on a pool worker and tasks must not nest (pool.h).
+    std::vector<std::optional<sse::Trapdoor>> tds =
+        sse::unwrap_trapdoors(acct.d, q.wrapped);
+    for (const std::optional<sse::Trapdoor>& td : tds) {
+      if (!td.has_value()) continue;
+      for (sse::FileId id : sse::search(*acct.index, *td)) matched.insert(id);
+    }
+  } else {
+    for (const sse::Trapdoor& td : q.trapdoors) {
+      for (sse::FileId id : sse::search(*acct.index, td)) matched.insert(id);
+    }
+  }
+  for (sse::FileId id : matched) {
+    auto fit = acct.files->files.find(id);
+    if (fit != acct.files->files.end()) {
+      res.matches.push_back({id, fit->second});
+    }
+  }
+  return res;
+}
+
+std::vector<SearchService::Result> SearchService::search_batch(
+    std::span<const Query> queries) const {
+  obs::Span span("sserver:search_batch");
+  // One acquire for the whole batch: every worker reads the same immutable
+  // snapshot, so a concurrent publish() cannot tear a batch.
+  std::shared_ptr<const SnapshotMap> snap = current();
+  std::vector<Result> out(queries.size());
+  if (pool_ == nullptr || queries.size() <= 1) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out[i] = answer(*snap, queries[i]);
+    }
+    return out;
+  }
+  pool_->parallel_for(queries.size(),
+                      [&](size_t i) { out[i] = answer(*snap, queries[i]); });
+  return out;
+}
+
+SearchService::Result SearchService::search(const Query& query) const {
+  return answer(*current(), query);
+}
+
+}  // namespace hcpp::core

@@ -1,0 +1,88 @@
+// Concurrent SEARCH front-end over immutable account snapshots (§IV.D/E.1
+// read path, DESIGN.md §9).
+//
+// The live SServer mutates its accounts under the single-threaded protocol
+// simulation; this service takes the other side of that bargain: publish()
+// copies every account into an immutable AccountSnapshot map, and
+// search_batch() fans the queries across a thread pool with *no locks on the
+// read path* — workers only ever touch const snapshot state reached through
+// a shared_ptr acquired once per batch. A publish() racing a batch is safe:
+// in-flight queries keep the old snapshot alive via that shared_ptr and
+// simply answer against the pre-publish view (snapshot isolation, not
+// linearizability — fine for a search front-end).
+//
+// Wrapped (θ_d) trapdoors are unwrapped per query with one key schedule via
+// sse::unwrap_trapdoors; stale or corrupted blobs yield empty result slots,
+// mirroring handle_privileged_retrieve's tolerance.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/entities.h"
+
+namespace hcpp::par {
+class ThreadPool;
+}
+
+namespace hcpp::core {
+
+class SearchService {
+ public:
+  /// One search request against a published account. Exactly one of
+  /// `trapdoors` / `wrapped` is consulted, selected by `privileged`.
+  struct Query {
+    std::string account;  // SServer::account_key(tp, collection)
+    std::vector<sse::Trapdoor> trapdoors;  // owner path (§IV.D)
+    std::vector<Bytes> wrapped;            // θ_d-wrapped path (§IV.E.1)
+    bool privileged = false;
+  };
+
+  /// One matched file: id plus the encrypted blob, as the wire protocol
+  /// returns them. Decryption stays client-side.
+  struct Match {
+    sse::FileId id = 0;
+    Bytes blob;
+  };
+
+  struct Result {
+    bool account_found = false;
+    std::vector<Match> matches;  // sorted by file id, deduplicated
+  };
+
+  /// `pool == nullptr` answers every query inline on the caller's thread.
+  explicit SearchService(par::ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// Re-snapshots the server's accounts and atomically swaps them in.
+  void publish(const SServer& server);
+
+  /// Number of accounts in the current snapshot.
+  [[nodiscard]] size_t account_count() const;
+
+  /// Answers all queries, parallel over queries. result[i] corresponds to
+  /// queries[i]; unknown accounts yield account_found == false, invalid
+  /// wrapped trapdoors contribute no matches.
+  [[nodiscard]] std::vector<Result> search_batch(
+      std::span<const Query> queries) const;
+
+  /// Convenience single-query form.
+  [[nodiscard]] Result search(const Query& query) const;
+
+ private:
+  using SnapshotMap = std::map<std::string, AccountSnapshot>;
+
+  [[nodiscard]] std::shared_ptr<const SnapshotMap> current() const;
+  static Result answer(const SnapshotMap& snap, const Query& q);
+
+  par::ThreadPool* pool_;
+  mutable std::mutex mu_;  // guards snapshot_ swap only, never the read path
+  std::shared_ptr<const SnapshotMap> snapshot_ =
+      std::make_shared<const SnapshotMap>();
+};
+
+}  // namespace hcpp::core

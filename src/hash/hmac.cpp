@@ -4,7 +4,7 @@
 
 namespace hcpp::hash {
 
-Bytes hmac_sha256(BytesView key, BytesView message) {
+HmacKey::HmacKey(BytesView key) {
   Bytes k(kSha256BlockSize, 0);
   if (key.size() > kSha256BlockSize) {
     Digest d = sha256(key);
@@ -17,24 +17,41 @@ Bytes hmac_sha256(BytesView key, BytesView message) {
     ipad[i] = k[i] ^ 0x36;
     opad[i] = k[i] ^ 0x5c;
   }
-  Sha256 inner;
-  inner.update(ipad);
-  inner.update(message);
-  Digest inner_d = inner.finish();
-  Sha256 outer;
-  outer.update(opad);
-  outer.update(BytesView(inner_d.data(), inner_d.size()));
-  Digest outer_d = outer.finish();
-  return Bytes(outer_d.begin(), outer_d.end());
+  inner_.update(ipad);
+  outer_.update(opad);
+}
+
+Digest HmacKey::eval_digest(BytesView message) const {
+  Sha256 in = inner_;  // midstate copy — the ipad block is already absorbed
+  in.update(message);
+  Digest inner_d = in.finish();
+  Sha256 out = outer_;
+  out.update(BytesView(inner_d.data(), inner_d.size()));
+  return out.finish();
+}
+
+Bytes HmacKey::eval(BytesView message) const {
+  Digest d = eval_digest(message);
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes HmacKey::eval_trunc(BytesView message, size_t out_len) const {
+  if (out_len > kSha256DigestSize) {
+    throw std::invalid_argument("HmacKey::eval_trunc: out_len > 32");
+  }
+  Digest d = eval_digest(message);
+  return Bytes(d.begin(), d.begin() + static_cast<ptrdiff_t>(out_len));
+}
+
+Bytes hmac_sha256(BytesView key, BytesView message) {
+  return HmacKey(key).eval(message);
 }
 
 Bytes hmac_sha256_trunc(BytesView key, BytesView message, size_t out_len) {
   if (out_len > kSha256DigestSize) {
     throw std::invalid_argument("hmac_sha256_trunc: out_len > 32");
   }
-  Bytes tag = hmac_sha256(key, message);
-  tag.resize(out_len);
-  return tag;
+  return HmacKey(key).eval_trunc(message, out_len);
 }
 
 bool hmac_verify(BytesView key, BytesView message, BytesView tag) {

@@ -1,6 +1,9 @@
 #include "src/ibc/ibs.h"
 
+#include <unordered_map>
+
 #include "src/common/serialize.h"
+#include "src/par/pool.h"
 
 namespace hcpp::ibc {
 
@@ -53,6 +56,60 @@ bool IbsVerifier::verify(BytesView message, const IbsSignature& sig) const {
   mp::U512 neg_v = mp::sub_mod(mp::U512{}, sig.v, ctx_->q);
   curve::Gt u = e1 * g_id_.pow(neg_v);
   return challenge(*ctx_, message, u) == sig.v;
+}
+
+std::vector<uint8_t> ibs_verify_batch(const PublicParams& pub,
+                                      std::span<const IbsBatchItem> items,
+                                      par::ThreadPool* pool) {
+  const curve::CurveCtx& ctx = *pub.ctx;
+  std::vector<uint8_t> out(items.size(), 0);
+  if (items.empty()) return out;
+
+  // Per-identity precomputation, shared read-only by every worker. q_id is
+  // always worth caching (hash-to-point); g_id = ê(H1(ID), Ppub) only pays
+  // for itself when the identity repeats — singletons fold that pairing into
+  // their product check below instead.
+  struct IdCtx {
+    curve::Point q_id;
+    size_t uses = 0;
+    std::optional<curve::Gt> g_id;
+  };
+  std::unordered_map<std::string_view, IdCtx> ids;
+  for (const IbsBatchItem& it : items) ++ids[it.id].uses;
+  for (auto& [id, ic] : ids) {
+    ic.q_id = Domain::public_key(ctx, id);
+    if (ic.uses >= 2) ic.g_id = curve::pairing(ctx, ic.q_id, pub.p_pub);
+  }
+
+  auto verify_one = [&](size_t i) {
+    const IbsBatchItem& it = items[i];
+    const IbsSignature& sig = it.sig;
+    if (sig.w.infinity || sig.v.is_zero() || !(sig.v < ctx.q)) return;
+    const IdCtx& ic = ids.find(std::string_view(it.id))->second;
+    mp::U512 neg_v = mp::sub_mod(mp::U512{}, sig.v, ctx.q);
+    curve::Gt u;
+    if (ic.g_id.has_value()) {
+      // Repeated identity: fixed-argument ê(W, P) plus the cached base.
+      u = curve::generator_precomp(ctx).pairing_with(sig.w) *
+          ic.g_id->pow(neg_v);
+    } else {
+      // Singleton: ê(W, P) · ê(−v·H1(ID), Ppub) as one multi-pairing —
+      // shared squaring chain, one final exponentiation.
+      curve::PairingTerm terms[2] = {
+          {sig.w, curve::generator(ctx)},
+          {curve::mul(ctx, ic.q_id, neg_v), pub.p_pub},
+      };
+      u = curve::pairing_product(ctx, terms);
+    }
+    out[i] = challenge(ctx, it.message, u) == sig.v ? 1 : 0;
+  };
+
+  if (pool == nullptr || items.size() <= 1) {
+    for (size_t i = 0; i < items.size(); ++i) verify_one(i);
+  } else {
+    pool->parallel_for(items.size(), verify_one);
+  }
+  return out;
 }
 
 Bytes IbsSignature::to_bytes() const {

@@ -11,6 +11,10 @@
 
 #include "src/ibc/domain.h"
 
+namespace hcpp::par {
+class ThreadPool;
+}
+
 namespace hcpp::ibc {
 
 struct IbsSignature {
@@ -45,5 +49,23 @@ class IbsVerifier {
   curve::Point q_id_;
   curve::Gt g_id_;  // ê(H1(ID), Ppub)
 };
+
+/// One signature to check in a batch.
+struct IbsBatchItem {
+  std::string id;
+  Bytes message;
+  IbsSignature sig;
+};
+
+/// Batch verification: result[i] == ibs_verify(pub, items[i]...). Hess IBS
+/// cannot be merged into one product check (each u' feeds its own H3), so
+/// the batch wins come from structure instead: identities appearing more
+/// than once get ê(H1(ID), Ppub) computed exactly once (IbsVerifier-style),
+/// singletons fold their two pairings into one pairing_product (shared
+/// squaring chain, one final exponentiation), and the per-item checks spread
+/// across the pool — every input is const, so no locks.
+std::vector<uint8_t> ibs_verify_batch(const PublicParams& pub,
+                                      std::span<const IbsBatchItem> items,
+                                      par::ThreadPool* pool = nullptr);
 
 }  // namespace hcpp::ibc

@@ -80,6 +80,10 @@ inline constexpr const char* kSseIndexBuild = "sse.index_build";
 inline constexpr const char* kSseSearch = "sse.search";
 inline constexpr const char* kSseSearchHits = "sse.search_hits";
 
+// Parallel execution layer (src/par/pool.cpp). Emitted per pool instance:
+// "par.<pool>.queue_depth" (gauge, tasks waiting), "par.<pool>.task_ns"
+// (histogram, wall time of one shard body), "par.<pool>.tasks" (counter).
+
 // Replication / failover (src/core/cluster.cpp and the failover loops).
 inline constexpr const char* kSGroupFailover = "cluster.sserver.failover";
 inline constexpr const char* kSGroupMirrorWrites =

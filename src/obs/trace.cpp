@@ -8,11 +8,13 @@
 namespace hcpp::obs {
 
 void Tracer::enable(const sim::Clock& clock, size_t max_spans) {
-  clock_ = &clock;
+  std::lock_guard<std::mutex> lock(mu_);
   max_spans_ = max_spans;
+  clock_.store(&clock, std::memory_order_release);
 }
 
 void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
   open_.clear();
   open_crypto_.clear();
@@ -30,14 +32,16 @@ Tracer::CryptoCounts Tracer::crypto_now() const {
 }
 
 int32_t Tracer::open(std::string_view name) {
-  if (clock_ == nullptr) return -1;
+  const sim::Clock* clock = clock_.load(std::memory_order_acquire);
+  if (clock == nullptr) return -1;
+  std::lock_guard<std::mutex> lock(mu_);
   if (spans_.size() >= max_spans_) {
     ++dropped_;
     return -1;
   }
   SpanRecord rec;
   rec.name = std::string(name);
-  rec.start_ns = clock_->now();
+  rec.start_ns = clock->now();
   rec.depth = static_cast<uint32_t>(open_.size());
   rec.parent = open_.empty() ? -1 : open_.back();
   int32_t index = static_cast<int32_t>(spans_.size());
@@ -48,7 +52,9 @@ int32_t Tracer::open(std::string_view name) {
 }
 
 void Tracer::close(int32_t index) {
-  if (index < 0 || clock_ == nullptr) return;
+  const sim::Clock* clock = clock_.load(std::memory_order_acquire);
+  if (index < 0 || clock == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
   // Unwind to the matching entry: exceptions may close spans out of order,
   // in which case every child still open closes at the same instant.
   while (!open_.empty()) {
@@ -58,7 +64,7 @@ void Tracer::close(int32_t index) {
     open_crypto_.pop_back();
     SpanRecord& rec = spans_[static_cast<size_t>(top)];
     CryptoCounts now = crypto_now();
-    rec.end_ns = clock_->now();
+    rec.end_ns = clock->now();
     rec.pairings = (now.pairing - at_open.pairing) +
                    (now.fixed - at_open.fixed) +
                    (now.product_terms - at_open.product_terms);
@@ -70,6 +76,7 @@ void Tracer::close(int32_t index) {
 }
 
 std::string Tracer::format() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   char line[256];
   for (const SpanRecord& s : spans_) {

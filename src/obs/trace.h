@@ -51,9 +51,12 @@ struct SpanRecord {
   }
 };
 
-/// Owned by a Registry (registry.tracer()). Not thread-safe on its own —
-/// the simulation is single-threaded; the registry's counter maps it reads
-/// are locked internally.
+/// Owned by a Registry (registry.tracer()). Span open/close is serialized on
+/// an internal mutex so pool workers may emit spans concurrently (DESIGN.md
+/// §9) — note the open-span *stack* is process-wide, so a worker span parents
+/// under whichever span is innermost at that instant; cross-thread
+/// attribution is approximate by design. spans()/format() are safe once the
+/// workers have quiesced.
 class Tracer {
  public:
   explicit Tracer(Registry& owner) : owner_(&owner) {}
@@ -61,8 +64,12 @@ class Tracer {
   /// Starts recording spans timed off `clock`. Bounded: once `max_spans`
   /// records exist, new spans are counted in dropped() but not stored.
   void enable(const sim::Clock& clock, size_t max_spans = 8192);
-  void disable() noexcept { clock_ = nullptr; }
-  [[nodiscard]] bool enabled() const noexcept { return clock_ != nullptr; }
+  void disable() noexcept {
+    clock_.store(nullptr, std::memory_order_release);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return clock_.load(std::memory_order_acquire) != nullptr;
+  }
 
   [[nodiscard]] const std::vector<SpanRecord>& spans() const noexcept {
     return spans_;
@@ -86,7 +93,8 @@ class Tracer {
   [[nodiscard]] CryptoCounts crypto_now() const;
 
   Registry* owner_;
-  const sim::Clock* clock_ = nullptr;
+  std::atomic<const sim::Clock*> clock_{nullptr};
+  mutable std::mutex mu_;  // guards everything below
   size_t max_spans_ = 0;
   size_t dropped_ = 0;
   std::vector<SpanRecord> spans_;

@@ -2,12 +2,10 @@
 
 #include <stdexcept>
 
-#include "src/hash/hmac.h"
-
 namespace hcpp::prf {
 
 FeistelPrp::FeistelPrp(Bytes key, size_t width_bytes)
-    : key_(std::move(key)), width_(width_bytes) {
+    : key_(std::move(key)), mac_(key_), width_(width_bytes) {
   if (width_ < 2) {
     throw std::invalid_argument("FeistelPrp: width must be >= 2 bytes");
   }
@@ -18,11 +16,11 @@ Bytes FeistelPrp::round_value(int round, BytesView half,
   Bytes msg;
   msg.push_back(static_cast<uint8_t>(round));
   append(msg, half);
-  Bytes full = hash::hmac_sha256(key_, msg);
+  Bytes full = mac_.eval(msg);
   // Widths beyond 32 bytes are rare here (trapdoors are small), but stay
   // correct anyway by chaining.
   while (full.size() < out_len) {
-    Bytes more = hash::hmac_sha256(key_, full);
+    Bytes more = mac_.eval(full);
     append(full, more);
   }
   full.resize(out_len);
@@ -74,7 +72,7 @@ int even_bit_width(uint64_t n) noexcept {
 }  // namespace
 
 SmallDomainPrp::SmallDomainPrp(Bytes key, uint64_t domain_size)
-    : key_(std::move(key)), n_(domain_size) {
+    : key_(std::move(key)), mac_(key_), n_(domain_size) {
   if (n_ < 2) {
     throw std::invalid_argument("SmallDomainPrp: domain must be >= 2");
   }
@@ -83,12 +81,12 @@ SmallDomainPrp::SmallDomainPrp(Bytes key, uint64_t domain_size)
 }
 
 namespace {
-uint64_t feistel_f(const Bytes& key, int round, uint64_t right,
+uint64_t feistel_f(const hash::HmacKey& mac, int round, uint64_t right,
                    int out_bits) {
   uint8_t msg[9];
   msg[0] = static_cast<uint8_t>(round);
   for (int i = 0; i < 8; ++i) msg[1 + i] = static_cast<uint8_t>(right >> (8 * i));
-  Bytes f = hash::hmac_sha256_trunc(key, BytesView(msg, 9), 8);
+  hash::Digest f = mac.eval_digest(BytesView(msg, 9));
   uint64_t fv = 0;
   for (int i = 0; i < 8; ++i) fv |= static_cast<uint64_t>(f[i]) << (8 * i);
   return fv & ((1ull << out_bits) - 1);
@@ -102,7 +100,7 @@ uint64_t SmallDomainPrp::round_once(uint64_t x) const {
   uint64_t right = x & mask;
   for (int round = 0; round < kRounds; ++round) {
     uint64_t new_left = right;
-    uint64_t new_right = left ^ feistel_f(key_, round, right, hb);
+    uint64_t new_right = left ^ feistel_f(mac_, round, right, hb);
     left = new_left;
     right = new_right;
   }
@@ -116,7 +114,7 @@ uint64_t SmallDomainPrp::unround_once(uint64_t y) const {
   uint64_t right = y & mask;
   for (int round = kRounds - 1; round >= 0; --round) {
     uint64_t prev_right = left;
-    uint64_t prev_left = right ^ feistel_f(key_, round, prev_right, hb);
+    uint64_t prev_left = right ^ feistel_f(mac_, round, prev_right, hb);
     left = prev_left;
     right = prev_right;
   }

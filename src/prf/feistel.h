@@ -12,8 +12,12 @@
 #include <cstdint>
 
 #include "src/common/bytes.h"
+#include "src/hash/hmac.h"
 
 namespace hcpp::prf {
+
+// Both PRPs precompute their HMAC key schedule at construction and are
+// immutable afterwards, so instances are safe to share across pool workers.
 
 class FeistelPrp {
  public:
@@ -31,6 +35,7 @@ class FeistelPrp {
   Bytes round_value(int round, BytesView half, size_t out_len) const;
 
   Bytes key_;
+  hash::HmacKey mac_;
   size_t width_;
   static constexpr int kRounds = 8;
 };
@@ -50,6 +55,7 @@ class SmallDomainPrp {
   uint64_t unround_once(uint64_t y) const;  // its inverse
 
   Bytes key_;
+  hash::HmacKey mac_;
   uint64_t n_;
   int bits_;       // ceil(log2 n), >= 2
   int left_bits_;  // bits_/2

@@ -1,13 +1,12 @@
 #include "src/prf/prf.h"
 
 #include "src/hash/hkdf.h"
-#include "src/hash/hmac.h"
 
 namespace hcpp::prf {
 
 Bytes Prf::eval(BytesView x, size_t out_len) const {
-  if (out_len <= 32) return hash::hmac_sha256_trunc(key_, x, out_len);
-  Bytes prk = hash::hmac_sha256(key_, x);
+  if (out_len <= 32) return mac_.eval_trunc(x, out_len);
+  Bytes prk = mac_.eval(x);
   return hash::hkdf_expand(prk, to_bytes("hcpp-prf-wide"), out_len);
 }
 

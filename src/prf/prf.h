@@ -4,12 +4,15 @@
 #pragma once
 
 #include "src/common/bytes.h"
+#include "src/hash/hmac.h"
 
 namespace hcpp::prf {
 
+/// Immutable after construction (the HMAC key schedule is precomputed once),
+/// so one instance may be shared across pool workers.
 class Prf {
  public:
-  explicit Prf(Bytes key) : key_(std::move(key)) {}
+  explicit Prf(Bytes key) : key_(std::move(key)), mac_(key_) {}
 
   /// f_key(x), `out_len` bytes.
   [[nodiscard]] Bytes eval(BytesView x, size_t out_len) const;
@@ -18,6 +21,7 @@ class Prf {
 
  private:
   Bytes key_;
+  hash::HmacKey mac_;
 };
 
 }  // namespace hcpp::prf

@@ -6,12 +6,12 @@
 
 #include "src/cipher/aead.h"
 #include "src/cipher/chacha20.h"
+#include "src/cipher/drbg.h"
 #include "src/hash/hmac.h"
 #include "src/hash/sha256.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
-#include "src/prf/feistel.h"
-#include "src/prf/prf.h"
+#include "src/par/pool.h"
 
 namespace hcpp::sse {
 
@@ -44,19 +44,14 @@ Bytes crypt_node(BytesView lambda, BytesView node) {
   return cipher::chacha20(lambda, nonce, 0, node);
 }
 
-// ϖ_c: keyword -> 16-byte virtual address (hash to the PRP's domain, then
-// permute, mirroring the paper's PRP-on-padded-keyword).
-Bytes virtual_address(const Keys& keys, std::string_view kw) {
-  Bytes h = hash::sha256_bytes(to_bytes(kw));
-  h.resize(kVaddrLen);
-  prf::FeistelPrp prp(keys.c, kVaddrLen);
-  return prp.forward(h);
-}
-
-// f_b: keyword -> 40-byte mask.
-Bytes keyword_mask(const Keys& keys, std::string_view kw) {
-  prf::Prf f(keys.b);
-  return f.eval(to_bytes(kw), kMaskLen);
+// Per-shard randomness: fork one deterministic child stream per shard off
+// the parent rng. Seeds are drawn serially *before* dispatch, so for a fixed
+// parent seed and shard count every worker sees the same stream.
+std::vector<cipher::Drbg> fork_streams(RandomSource& rng, size_t shards) {
+  std::vector<cipher::Drbg> out;
+  out.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) out.emplace_back(rng.bytes(32));
+  return out;
 }
 
 Bytes trapdoor_tag(BytesView address, BytesView mask) {
@@ -122,7 +117,8 @@ PlainFile PlainFile::from_bytes(BytesView bv) {
 }
 
 SecureIndex build_index(std::span<const PlainFile> files, const Keys& keys,
-                        RandomSource& rng, double padding_factor) {
+                        RandomSource& rng, double padding_factor,
+                        par::ThreadPool* pool) {
   if (padding_factor < 1.0) {
     throw std::invalid_argument("build_index: padding_factor < 1");
   }
@@ -142,43 +138,135 @@ SecureIndex build_index(std::span<const PlainFile> files, const Keys& keys,
                              padding_factor));
   si.array_a.assign(array_size, Bytes());
   prf::SmallDomainPrp phi(keys.a, array_size);
+  TrapdoorGen gen(keys);
 
-  uint64_t ctr = 0;
+  if (pool == nullptr || pool->size() <= 1) {
+    // Legacy serial schedule, byte-for-byte: one rng stream, postings order.
+    // A size-1 pool takes this path too, so "single-threaded" always means
+    // the exact serial bytes (DESIGN.md §9).
+    uint64_t ctr = 0;
+    for (const auto& [kw, fids] : postings) {
+      Bytes lambda_prev = rng.bytes(kKeyLen);  // λ_{i,0}
+      uint64_t head_addr = phi.forward(ctr);
+      // T[ϖ_c(kw)] = (head_addr ‖ λ_{i,0}) ⊕ f_b(kw)
+      Bytes entry;
+      for (int s = 56; s >= 0; s -= 8) {
+        entry.push_back(static_cast<uint8_t>(head_addr >> s));
+      }
+      append(entry, lambda_prev);
+      Bytes masked = xor_bytes(entry, gen.mask(kw));
+      si.table_t[hex_encode(gen.address(kw))] = masked;
+
+      for (size_t j = 0; j < fids.size(); ++j) {
+        uint64_t addr = phi.forward(ctr);
+        ++ctr;
+        bool has_next = (j + 1 < fids.size());
+        uint64_t next_addr = has_next ? phi.forward(ctr) : 0;
+        Bytes lambda_next = has_next ? rng.bytes(kKeyLen) : Bytes(kKeyLen, 0);
+        Bytes node = encode_node(has_next, fids[j], lambda_next, next_addr);
+        si.array_a[addr] = crypt_node(lambda_prev, node);
+        lambda_prev = lambda_next;
+      }
+    }
+    for (Bytes& slot : si.array_a) {
+      if (slot.empty()) slot = rng.bytes(kNodeSize);
+    }
+    return si;
+  }
+
+  // Sharded build. Keyword i owns the node-counter range
+  // [node_start[i], node_start[i] + |L_i|) — the same ctr values the serial
+  // schedule would use — so φ scatters nodes to the same distinct addresses
+  // regardless of thread count, and every array write lands on a slot no
+  // other worker touches. Only λ keys and padding come from the forked
+  // per-shard streams; the index *structure* is thread-count-invariant.
+  std::vector<std::pair<const std::string*, const std::vector<FileId>*>> kws;
+  kws.reserve(postings.size());
+  std::vector<uint64_t> node_start;
+  node_start.reserve(postings.size());
+  uint64_t acc = 0;
   for (const auto& [kw, fids] : postings) {
-    Bytes lambda_prev = rng.bytes(kKeyLen);  // λ_{i,0}
-    uint64_t head_addr = phi.forward(ctr);
-    // T[ϖ_c(kw)] = (head_addr ‖ λ_{i,0}) ⊕ f_b(kw)
-    Bytes entry;
-    for (int s = 56; s >= 0; s -= 8) {
-      entry.push_back(static_cast<uint8_t>(head_addr >> s));
-    }
-    append(entry, lambda_prev);
-    Bytes masked = xor_bytes(entry, keyword_mask(keys, kw));
-    si.table_t[hex_encode(virtual_address(keys, kw))] = masked;
+    kws.emplace_back(&kw, &fids);
+    node_start.push_back(acc);
+    acc += fids.size();
+  }
 
-    for (size_t j = 0; j < fids.size(); ++j) {
-      uint64_t addr = phi.forward(ctr);
-      ++ctr;
-      bool has_next = (j + 1 < fids.size());
-      uint64_t next_addr = has_next ? phi.forward(ctr) : 0;
-      Bytes lambda_next = has_next ? rng.bytes(kKeyLen) : Bytes(kKeyLen, 0);
-      Bytes node = encode_node(has_next, fids[j], lambda_next, next_addr);
-      si.array_a[addr] = crypt_node(lambda_prev, node);
-      lambda_prev = lambda_next;
+  size_t kw_shards = pool->shard_count(kws.size());
+  std::vector<cipher::Drbg> kw_streams = fork_streams(rng, kw_shards);
+  // Per-shard table entries, merged serially after the barrier (the
+  // unordered_map is not safe for concurrent insertion).
+  std::vector<std::vector<std::pair<std::string, Bytes>>> shard_entries(
+      kw_shards);
+  pool->for_shards(kws.size(), [&](size_t shard, size_t begin, size_t end) {
+    cipher::Drbg& srng = kw_streams[shard];
+    auto& entries = shard_entries[shard];
+    entries.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      const std::string& kw = *kws[i].first;
+      const std::vector<FileId>& fids = *kws[i].second;
+      uint64_t ctr = node_start[i];
+      Bytes lambda_prev = srng.bytes(kKeyLen);
+      uint64_t head_addr = phi.forward(ctr);
+      Bytes entry;
+      for (int s = 56; s >= 0; s -= 8) {
+        entry.push_back(static_cast<uint8_t>(head_addr >> s));
+      }
+      append(entry, lambda_prev);
+      entries.emplace_back(hex_encode(gen.address(kw)),
+                           xor_bytes(entry, gen.mask(kw)));
+
+      for (size_t j = 0; j < fids.size(); ++j) {
+        uint64_t addr = phi.forward(ctr);
+        ++ctr;
+        bool has_next = (j + 1 < fids.size());
+        uint64_t next_addr = has_next ? phi.forward(ctr) : 0;
+        Bytes lambda_next = has_next ? srng.bytes(kKeyLen) : Bytes(kKeyLen, 0);
+        Bytes node = encode_node(has_next, fids[j], lambda_next, next_addr);
+        si.array_a[addr] = crypt_node(lambda_prev, node);
+        lambda_prev = lambda_next;
+      }
     }
+  });
+  for (auto& entries : shard_entries) {
+    for (auto& [k, v] : entries) si.table_t[k] = std::move(v);
   }
+
   // Fill unused slots with random bytes so the array looks uniform.
-  for (Bytes& slot : si.array_a) {
-    if (slot.empty()) slot = rng.bytes(kNodeSize);
-  }
+  size_t fill_shards = pool->shard_count(array_size);
+  std::vector<cipher::Drbg> fill_streams = fork_streams(rng, fill_shards);
+  pool->for_shards(array_size, [&](size_t shard, size_t begin, size_t end) {
+    cipher::Drbg& srng = fill_streams[shard];
+    for (size_t i = begin; i < end; ++i) {
+      if (si.array_a[i].empty()) si.array_a[i] = srng.bytes(kNodeSize);
+    }
+  });
   return si;
 }
 
 EncryptedCollection encrypt_collection(std::span<const PlainFile> files,
-                                       const Keys& keys, RandomSource& rng) {
+                                       const Keys& keys, RandomSource& rng,
+                                       par::ThreadPool* pool) {
   EncryptedCollection ec;
-  for (const PlainFile& f : files) {
-    ec.files[f.id] = cipher::aead_encrypt(keys.s, f.to_bytes(), {}, rng);
+  if (pool == nullptr || pool->size() <= 1) {
+    for (const PlainFile& f : files) {
+      ec.files[f.id] = cipher::aead_encrypt(keys.s, f.to_bytes(), {}, rng);
+    }
+    return ec;
+  }
+  size_t shards = pool->shard_count(files.size());
+  std::vector<cipher::Drbg> streams = fork_streams(rng, shards);
+  std::vector<std::vector<std::pair<FileId, Bytes>>> shard_out(shards);
+  pool->for_shards(files.size(), [&](size_t shard, size_t begin, size_t end) {
+    cipher::Drbg& srng = streams[shard];
+    auto& out = shard_out[shard];
+    out.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      out.emplace_back(files[i].id, cipher::aead_encrypt(
+                                        keys.s, files[i].to_bytes(), {}, srng));
+    }
+  });
+  for (auto& out : shard_out) {
+    for (auto& [id, blob] : out) ec.files[id] = std::move(blob);
   }
   return ec;
 }
@@ -187,8 +275,57 @@ PlainFile decrypt_file(const Keys& keys, BytesView blob) {
   return PlainFile::from_bytes(cipher::aead_decrypt(keys.s, blob, {}));
 }
 
+std::vector<PlainFile> decrypt_collection(const Keys& keys,
+                                          const EncryptedCollection& ec,
+                                          par::ThreadPool* pool) {
+  std::vector<FileId> ids;
+  ids.reserve(ec.files.size());
+  for (const auto& [id, blob] : ec.files) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  std::vector<std::optional<PlainFile>> slots(ids.size());
+  auto decrypt_one = [&](size_t i) {
+    try {
+      slots[i] = decrypt_file(keys, ec.files.at(ids[i]));
+    } catch (const cipher::AuthError&) {
+      // Tampered blob: skip it rather than fail the whole collection.
+    }
+  };
+  if (pool == nullptr) {
+    for (size_t i = 0; i < ids.size(); ++i) decrypt_one(i);
+  } else {
+    pool->parallel_for(ids.size(), decrypt_one);
+  }
+  std::vector<PlainFile> out;
+  out.reserve(ids.size());
+  for (auto& slot : slots) {
+    if (slot.has_value()) out.push_back(std::move(*slot));
+  }
+  return out;
+}
+
+TrapdoorGen::TrapdoorGen(const Keys& keys)
+    : prp_c_(keys.c, kVaddrLen), f_b_(keys.b) {}
+
+// ϖ_c: keyword -> 16-byte virtual address (hash to the PRP's domain, then
+// permute, mirroring the paper's PRP-on-padded-keyword).
+Bytes TrapdoorGen::address(std::string_view kw) const {
+  Bytes h = hash::sha256_bytes(to_bytes(kw));
+  h.resize(kVaddrLen);
+  return prp_c_.forward(h);
+}
+
+// f_b: keyword -> 40-byte mask.
+Bytes TrapdoorGen::mask(std::string_view kw) const {
+  return f_b_.eval(to_bytes(kw), kMaskLen);
+}
+
+Trapdoor TrapdoorGen::make(std::string_view kw) const {
+  return Trapdoor{address(kw), mask(kw)};
+}
+
 Trapdoor make_trapdoor(const Keys& keys, std::string_view kw) {
-  return Trapdoor{virtual_address(keys, kw), keyword_mask(keys, kw)};
+  return TrapdoorGen(keys).make(kw);
 }
 
 std::vector<FileId> search(const SecureIndex& index, const Trapdoor& td) {
@@ -222,6 +359,19 @@ std::vector<FileId> search(const SecureIndex& index, const Trapdoor& td) {
   return result;
 }
 
+std::vector<std::vector<FileId>> search_many(const SecureIndex& index,
+                                             std::span<const Trapdoor> tds,
+                                             par::ThreadPool* pool) {
+  std::vector<std::vector<FileId>> out(tds.size());
+  auto one = [&](size_t i) { out[i] = search(index, tds[i]); };
+  if (pool == nullptr) {
+    for (size_t i = 0; i < tds.size(); ++i) one(i);
+  } else {
+    pool->parallel_for(tds.size(), one);
+  }
+  return out;
+}
+
 Bytes Trapdoor::to_bytes() const {
   Bytes out = concat(address, mask);
   append(out, trapdoor_tag(address, mask));
@@ -247,6 +397,25 @@ std::optional<Trapdoor> unwrap_trapdoor(BytesView d, BytesView wrapped) {
   if (wrapped.size() != kTrapdoorSize) return std::nullopt;
   prf::FeistelPrp theta(Bytes(d.begin(), d.end()), kTrapdoorSize);
   return Trapdoor::from_bytes(theta.inverse(wrapped));
+}
+
+std::vector<std::optional<Trapdoor>> unwrap_trapdoors(
+    BytesView d, std::span<const Bytes> wrapped, par::ThreadPool* pool) {
+  // One θ_d key schedule for the whole batch; FeistelPrp is immutable, so
+  // the workers share it freely.
+  prf::FeistelPrp theta(Bytes(d.begin(), d.end()), kTrapdoorSize);
+  std::vector<std::optional<Trapdoor>> out(wrapped.size());
+  auto one = [&](size_t i) {
+    if (wrapped[i].size() == kTrapdoorSize) {
+      out[i] = Trapdoor::from_bytes(theta.inverse(wrapped[i]));
+    }
+  };
+  if (pool == nullptr) {
+    for (size_t i = 0; i < wrapped.size(); ++i) one(i);
+  } else {
+    pool->parallel_for(wrapped.size(), one);
+  }
+  return out;
 }
 
 Bytes SecureIndex::to_bytes() const {

@@ -19,6 +19,7 @@
 // invalidates every trapdoor it can still produce.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -26,6 +27,12 @@
 
 #include "src/common/random.h"
 #include "src/common/serialize.h"
+#include "src/prf/feistel.h"
+#include "src/prf/prf.h"
+
+namespace hcpp::par {
+class ThreadPool;
+}
 
 namespace hcpp::sse {
 
@@ -87,22 +94,64 @@ inline constexpr size_t kTrapdoorSize = 60;  // address ‖ mask ‖ tag
 
 /// Builds SI per Fig. 2. `padding_factor` >= 1 grows A beyond the exact node
 /// count to blunt size leakage (§V discussion).
+///
+/// With a pool, keyword lists are built and array A filled/permuted in
+/// parallel shards; each shard draws its randomness from a DRBG stream
+/// forked off `rng`, so the output is reproducible for a given seed and
+/// thread count, and search results are identical across thread counts (the
+/// index *bytes* differ — only the per-node keys and padding randomness
+/// move). `pool == nullptr` is the exact legacy serial schedule.
 SecureIndex build_index(std::span<const PlainFile> files, const Keys& keys,
-                        RandomSource& rng, double padding_factor = 1.25);
+                        RandomSource& rng, double padding_factor = 1.25,
+                        par::ThreadPool* pool = nullptr);
 
-/// Λ = E'_s(F): per-file AEAD of the serialized PlainFile.
+/// Λ = E'_s(F): per-file AEAD of the serialized PlainFile. With a pool the
+/// per-file encryptions run in parallel shards (forked nonce streams);
+/// decrypted plaintexts are identical across thread counts.
 EncryptedCollection encrypt_collection(std::span<const PlainFile> files,
-                                       const Keys& keys, RandomSource& rng);
+                                       const Keys& keys, RandomSource& rng,
+                                       par::ThreadPool* pool = nullptr);
 
 /// Decrypts one file blob; throws cipher::AuthError on tampering.
 PlainFile decrypt_file(const Keys& keys, BytesView blob);
 
-/// Owner-side trapdoor generation.
+/// Decrypts a whole collection (parallel per-file AEAD when given a pool),
+/// sorted by file id. Tampered blobs are skipped, not fatal.
+std::vector<PlainFile> decrypt_collection(const Keys& keys,
+                                          const EncryptedCollection& ec,
+                                          par::ThreadPool* pool = nullptr);
+
+/// Owner-side trapdoor factory: hoists the ϖ_c PRP and f_b PRF (and their
+/// HMAC key schedules) out of the per-keyword loop. Immutable after
+/// construction — shareable across threads.
+class TrapdoorGen {
+ public:
+  explicit TrapdoorGen(const Keys& keys);
+
+  [[nodiscard]] Trapdoor make(std::string_view kw) const;
+  /// ϖ_c(kw) — the 16-byte virtual address.
+  [[nodiscard]] Bytes address(std::string_view kw) const;
+  /// f_b(kw) — the 40-byte mask.
+  [[nodiscard]] Bytes mask(std::string_view kw) const;
+
+ private:
+  prf::FeistelPrp prp_c_;  // ϖ_c
+  prf::Prf f_b_;           // f_b
+};
+
+/// Owner-side trapdoor generation (one-shot; loops should use TrapdoorGen).
 Trapdoor make_trapdoor(const Keys& keys, std::string_view kw);
 
 /// Server-side SEARCH: O(1) table hit + walk of the matching list. Returns
 /// the matching file ids (empty when the keyword is absent).
 std::vector<FileId> search(const SecureIndex& index, const Trapdoor& td);
+
+/// Batch SEARCH over a read-only index: result[i] = search(index, tds[i]).
+/// The index is never written, so with a pool the walks run concurrently
+/// without locks.
+std::vector<std::vector<FileId>> search_many(const SecureIndex& index,
+                                             std::span<const Trapdoor> tds,
+                                             par::ThreadPool* pool = nullptr);
 
 // ---- ASSIGN / REVOKE extension ------------------------------------------
 
@@ -112,5 +161,12 @@ Bytes wrap_trapdoor(BytesView d, const Trapdoor& td);
 /// Server-side unwrap + validity check; nullopt when `d` is stale (i.e. the
 /// submitter has been revoked) or the blob is malformed.
 std::optional<Trapdoor> unwrap_trapdoor(BytesView d, BytesView wrapped);
+
+/// Batch unwrap: one θ_d key schedule shared across the whole batch, spread
+/// over the pool. result[i] is nullopt exactly when unwrap_trapdoor(d,
+/// wrapped[i]) would be.
+std::vector<std::optional<Trapdoor>> unwrap_trapdoors(
+    BytesView d, std::span<const Bytes> wrapped,
+    par::ThreadPool* pool = nullptr);
 
 }  // namespace hcpp::sse

@@ -4,6 +4,7 @@
 #include "src/cipher/drbg.h"
 #include "src/ibc/ibe.h"
 #include "src/ibc/ibs.h"
+#include "src/par/pool.h"
 
 namespace hcpp::ibc {
 namespace {
@@ -280,6 +281,56 @@ TEST(Ibs, SignaturesAreRandomized) {
   EXPECT_NE(s1.to_bytes(), s2.to_bytes());
   EXPECT_TRUE(ibs_verify(d.pub(), "dr-alice", msg, s1));
   EXPECT_TRUE(ibs_verify(d.pub(), "dr-alice", msg, s2));
+}
+
+
+TEST(IbsBatch, MatchesSerialVerifyWithRepeatsAndSingletons) {
+  Domain d = make_domain("ibs-batch");
+  cipher::Drbg rng(to_bytes("ibs-batch-rng"));
+  // Two signatures from dr-alice (repeated identity: cached g_id path) and
+  // one each from dr-bob and dr-carol (singletons: multi-pairing path).
+  std::vector<IbsBatchItem> items;
+  for (const char* id : {"dr-alice", "dr-bob", "dr-alice", "dr-carol"}) {
+    Bytes msg = to_bytes(std::string("msg-for-") + id);
+    items.push_back(
+        {id, msg, ibs_sign(ctx(), d.extract(id), id, msg, rng)});
+  }
+  par::ThreadPool pool(4, "ibs");
+  std::vector<uint8_t> pooled = ibs_verify_batch(d.pub(), items, &pool);
+  std::vector<uint8_t> serial = ibs_verify_batch(d.pub(), items, nullptr);
+  ASSERT_EQ(pooled.size(), items.size());
+  EXPECT_EQ(pooled, serial);
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(pooled[i] != 0,
+              ibs_verify(d.pub(), items[i].id, items[i].message,
+                         items[i].sig))
+        << "item " << i;
+    EXPECT_TRUE(pooled[i]) << "item " << i;
+  }
+}
+
+TEST(IbsBatch, FlagsExactlyTheBadSignatures) {
+  Domain d = make_domain("ibs-batch-bad");
+  cipher::Drbg rng(to_bytes("ibs-batch-bad-rng"));
+  std::vector<IbsBatchItem> items;
+  for (int i = 0; i < 6; ++i) {
+    std::string id = i % 2 == 0 ? "dr-alice" : "dr-bob";
+    Bytes msg = to_bytes("m" + std::to_string(i));
+    items.push_back(
+        {id, msg, ibs_sign(ctx(), d.extract(id), id, msg, rng)});
+  }
+  // Corrupt one repeated-identity slot and one singleton-shaped slot.
+  items[2].sig.v = mp::add_mod(items[2].sig.v, mp::U512::from_u64(1), ctx().q);
+  items[5].message = to_bytes("different message");
+  par::ThreadPool pool(2, "ibs");
+  std::vector<uint8_t> ok = ibs_verify_batch(d.pub(), items, &pool);
+  std::vector<uint8_t> want = {1, 1, 0, 1, 1, 0};
+  EXPECT_EQ(ok, want);
+}
+
+TEST(IbsBatch, EmptyBatchIsEmpty) {
+  Domain d = make_domain("ibs-batch-empty");
+  EXPECT_TRUE(ibs_verify_batch(d.pub(), {}, nullptr).empty());
 }
 
 }  // namespace

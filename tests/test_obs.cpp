@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 #include <string>
 #include <vector>
 
@@ -341,6 +343,54 @@ TEST_F(ObsTest, TransportStatsAndRegistryCountersAgree) {
             1u);
 }
 #endif  // HCPP_OBS
+
+
+// ---- Thread safety ---------------------------------------------------------
+
+TEST_F(ObsTest, ConcurrentBumpsFromManyThreadsLoseNothing) {
+  // Registry::add/observe/gauge_set are mutex-guarded; pool workers hammer
+  // one counter, one histogram and one gauge concurrently and the totals
+  // must come out exact. The TSan CI job runs this with instrumentation.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg_.add("mt.counter");
+        reg_.observe("mt.latency", static_cast<double>(i + 1));
+        reg_.gauge_set("mt.gauge", t);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  Snapshot snap = reg_.snapshot();
+  EXPECT_EQ(snap.counter("mt.counter"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  ASSERT_TRUE(snap.histograms.contains("mt.latency"));
+  EXPECT_EQ(snap.histograms.at("mt.latency").count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  // The gauge holds whichever thread wrote last — any valid thread index.
+  int64_t g = snap.gauges.at("mt.gauge");
+  EXPECT_GE(g, 0);
+  EXPECT_LT(g, kThreads);
+}
+
+TEST_F(ObsTest, ConcurrentSnapshotsWhileWritingAreConsistent) {
+  std::atomic<bool> stop{false};
+  std::thread writer([this, &stop] {
+    while (!stop.load()) reg_.add("mt.spin");
+  });
+  for (int i = 0; i < 50; ++i) {
+    Snapshot snap = reg_.snapshot();
+    // Monotone: a later snapshot never shows a smaller count.
+    Snapshot later = reg_.snapshot();
+    EXPECT_GE(later.counter("mt.spin"), snap.counter("mt.spin"));
+  }
+  stop.store(true);
+  writer.join();
+}
 
 }  // namespace
 }  // namespace hcpp::obs

@@ -6,6 +6,11 @@
 #   BENCH_metrics.json    — bench_protocols metrics-registry snapshot
 #                           (crypto-op counters, transport stats, latency
 #                           histograms with p50/p95/p99)
+#   BENCH_throughput.json — bench_throughput (ops/sec for the parallel SSE
+#                           build / SEARCH serving / collection AEAD / batch
+#                           IBS paths at 1/2/4/8 threads; context records
+#                           hardware_concurrency so flat scaling on small
+#                           containers is self-explanatory)
 #
 # Usage: tools/run_benchmarks.sh [build-dir]
 # Always configures the bench build directory with an explicit optimized
@@ -39,9 +44,9 @@ esac
 cmake -B "$build_dir" -S "$repo_root" -DHCPP_BENCH=ON \
   -DCMAKE_BUILD_TYPE="$build_type"
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target bench_computation bench_protocols
+  --target bench_computation bench_protocols bench_throughput
 
-for bin in bench_computation bench_protocols; do
+for bin in bench_computation bench_protocols bench_throughput; do
   if [[ ! -x "$build_dir/bench/$bin" ]]; then
     echo "error: $build_dir/bench/$bin still missing after the build" \
          "(HCPP_BENCH=OFF in the cache?)" >&2
@@ -94,3 +99,21 @@ if [[ ! -s "$repo_root/BENCH_metrics.json" ]]; then
   exit 1
 fi
 echo "wrote $repo_root/BENCH_metrics.json"
+
+# bench_throughput writes its own JSON; same debug-build guard as above
+# (its reporter derives library_build_type from the binary's NDEBUG).
+"$build_dir/bench/bench_throughput" \
+  --json-out="$repo_root/BENCH_throughput.json" >/dev/null
+python3 - "$repo_root/BENCH_throughput.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    report = json.load(f)
+build = report.get("context", {}).get("library_build_type", "missing")
+if build != "release":
+    import os
+    os.unlink(path)
+    sys.exit(f"error: throughput report says library_build_type={build!r}; "
+             "refusing to keep numbers from a non-optimized build")
+EOF
+echo "wrote $repo_root/BENCH_throughput.json"
