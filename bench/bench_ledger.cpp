@@ -1,0 +1,216 @@
+// Audit-ledger costs (src/ledger): append throughput with and without the
+// write-ahead log, full-chain verification, and O(log n) Merkle inclusion
+// proofs. The proof-verify latency distribution comes from the library's own
+// obs histogram (ledger.proof.verify_ns) rather than a bench-side timer, so
+// the numbers are the ones a deployment's metrics endpoint would report.
+//
+// Plain main() harness (like bench_throughput): prints a table and, with
+// --json-out=PATH, a JSON report whose context records library_build_type
+// so tools/run_benchmarks.sh can refuse debug-build numbers.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/ledger/ledger.h"
+#include "src/obs/metrics.h"
+
+using namespace hcpp;
+
+namespace {
+
+constexpr size_t kEntries = 4096;  // chain size the verify/proof runs use
+
+ledger::AccessEvent make_event(uint64_t i) {
+  ledger::AccessEvent ev;
+  ev.kind = (i % 2 == 0) ? ledger::EventKind::kTrace
+                         : ledger::EventKind::kAccess;
+  ev.actor_id = "dr-" + std::to_string(i % 16);
+  ev.subject = to_bytes("tp-" + std::to_string(i % 64));
+  if (ev.kind == ledger::EventKind::kAccess) {
+    ev.keywords = {"diabetes", "insulin"};
+  }
+  ev.t10 = 1'000 + i;
+  ev.t11 = 2'000 + i;
+  ev.sig = Bytes(96, static_cast<uint8_t>(i));
+  return ev;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Row {
+  std::string workload;
+  double ops_per_sec;
+  std::string unit;
+};
+
+/// Runs `body` (performing `ops` unit operations per call) for at least
+/// `min_seconds` after one untimed warm-up and returns ops/sec.
+template <typename F>
+double measure(double min_seconds, size_t ops, F&& body) {
+  body();
+  size_t total_ops = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    body();
+    total_ops += ops;
+    elapsed = seconds_since(t0);
+  } while (elapsed < min_seconds);
+  return static_cast<double>(total_ops) / elapsed;
+}
+
+Row bench_append() {
+  double ops = measure(0.3, kEntries, [] {
+    ledger::Ledger led("bench");
+    for (uint64_t i = 0; i < kEntries; ++i) led.append(make_event(i));
+  });
+  return {"append", ops, "entries/s"};
+}
+
+Row bench_append_wal() {
+  std::filesystem::path wal =
+      std::filesystem::temp_directory_path() / "hcpp-bench-ledger-wal";
+  double ops = measure(0.3, kEntries, [&] {
+    std::filesystem::remove(wal);
+    ledger::Ledger led("bench");
+    if (!led.attach_wal(wal.string())) std::abort();
+    for (uint64_t i = 0; i < kEntries; ++i) led.append(make_event(i));
+  });
+  std::filesystem::remove(wal);
+  return {"append_wal", ops, "entries/s"};
+}
+
+Row bench_verify_chain(const ledger::Ledger& led) {
+  double ops = measure(0.3, led.size(), [&] {
+    if (!led.verify_chain().ok()) std::abort();
+  });
+  return {"verify_chain", ops, "entries/s"};
+}
+
+Row bench_recover(const std::string& wal_path) {
+  double ops = measure(0.3, kEntries, [&] {
+    ledger::RecoveryReport rep;
+    ledger::Ledger led = ledger::Ledger::recover(wal_path, "bench", &rep);
+    if (rep.entries != kEntries) std::abort();
+  });
+  return {"recover", ops, "entries/s"};
+}
+
+Row bench_proofs(const ledger::Ledger& led) {
+  Bytes root = led.merkle_root(led.size());
+  double ops = measure(0.3, 256, [&] {
+    for (uint64_t i = 0; i < 256; ++i) {
+      uint64_t seq = (i * 131) % led.size();
+      ledger::InclusionProof proof = led.prove(seq, led.size());
+      if (!ledger::Ledger::verify_proof(root, proof)) std::abort();
+    }
+  });
+  return {"prove_and_verify", ops, "proofs/s"};
+}
+
+void write_json(const char* path, const std::vector<Row>& rows,
+                const obs::HistogramSummary& verify_lat) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::perror("fopen --json-out");
+    std::exit(1);
+  }
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  std::fprintf(f,
+               "{\n  \"context\": {\n"
+               "    \"source\": \"bench_ledger\",\n"
+               "    \"library_build_type\": \"%s\",\n"
+               "    \"hardware_concurrency\": %u,\n"
+               "    \"chain_entries\": %zu\n  },\n  \"benchmarks\": [\n",
+               build_type, std::thread::hardware_concurrency(), kEntries);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ops_per_sec\": %.2f, "
+                 "\"unit\": \"%s\"}%s\n",
+                 r.workload.c_str(), r.ops_per_sec, r.unit.c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"proof_verify_latency_ns\": {\n"
+               "    \"source_histogram\": \"%s\",\n"
+               "    \"count\": %llu,\n"
+               "    \"p50\": %.1f,\n    \"p95\": %.1f,\n    \"p99\": %.1f,\n"
+               "    \"max\": %.1f\n  }\n}\n",
+               obs::kLedgerProofVerifyNs,
+               static_cast<unsigned long long>(verify_lat.count),
+               verify_lat.percentile(0.50), verify_lat.percentile(0.95),
+               verify_lat.percentile(0.99), verify_lat.max);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_out = argv[i] + 11;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json-out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // A populated chain for the read-side workloads, plus a WAL image of it
+  // for the recovery workload.
+  ledger::Ledger led("bench");
+  std::filesystem::path wal =
+      std::filesystem::temp_directory_path() / "hcpp-bench-ledger-recover";
+  std::filesystem::remove(wal);
+  if (!led.attach_wal(wal.string())) std::abort();
+  for (uint64_t i = 0; i < kEntries; ++i) led.append(make_event(i));
+
+  std::vector<Row> rows;
+  rows.push_back(bench_append());
+  rows.push_back(bench_append_wal());
+  rows.push_back(bench_verify_chain(led));
+  rows.push_back(bench_recover(wal.string()));
+
+  // Proof workload runs with a registry attached so the library's own
+  // ledger.proof.verify_ns histogram captures the latency distribution.
+  obs::Registry reg;
+  obs::attach(&reg);
+  rows.push_back(bench_proofs(led));
+  obs::attach(nullptr);
+  obs::HistogramSummary verify_lat;
+  obs::Snapshot snap = reg.snapshot();
+  if (auto it = snap.histograms.find(obs::kLedgerProofVerifyNs);
+      it != snap.histograms.end()) {
+    verify_lat = it->second;
+  }
+  std::filesystem::remove(wal);
+
+  std::printf("%-18s %14s  %s\n", "workload", "ops/sec", "unit");
+  for (const Row& r : rows) {
+    std::printf("%-18s %14.1f  %s\n", r.workload.c_str(), r.ops_per_sec,
+                r.unit.c_str());
+  }
+  std::printf("proof verify latency (ns): p50=%.0f p95=%.0f p99=%.0f "
+              "(%llu samples)\n",
+              verify_lat.percentile(0.50), verify_lat.percentile(0.95),
+              verify_lat.percentile(0.99),
+              static_cast<unsigned long long>(verify_lat.count));
+
+  if (json_out != nullptr) {
+    write_json(json_out, rows, verify_lat);
+    std::printf("wrote %s\n", json_out);
+  }
+  return 0;
+}

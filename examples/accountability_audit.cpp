@@ -76,11 +76,11 @@ int main() {
     std::printf("  %s  <-- complaint filed per HIPAA §160/§164\n",
                 id.c_str());
   }
-  std::printf("inconsistent records: %zu\n", report.inconsistencies);
+  std::printf("inconsistent records: %zu\n", report.inconsistencies());
   bool ok = report.accountable.size() == 2 &&
             report.improper_searchers.size() == 1 &&
             report.improper_searchers[0] == "dr-nosy" &&
-            report.inconsistencies == 0;
+            report.inconsistencies() == 0;
   std::printf("\naudit outcome: %s\n", ok ? "as expected" : "UNEXPECTED");
   return ok ? 0 : 1;
 }

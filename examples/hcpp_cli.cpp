@@ -18,6 +18,10 @@
 //   onduty <physician> on|off   edit the published on-duty list
 //   revoke family|pdevice     §IV.C REVOKE
 //   audit                     verify RD/TR records (§V.A)
+//   ledger verify             chain-verify both audit ledgers vs anchors
+//   ledger proof <seq>        Merkle inclusion proof for one RD entry
+//   ledger anchor             anchor the current epoch hospital→state→federal
+//   ledger show               entries, anchors and pending patient alerts
 //   stats                     traffic + transport delivery accounting
 //   metrics [json|prom]       dump the metrics registry snapshot
 //   trace on|off|show|clear   protocol span tracing with crypto-op counts
@@ -103,7 +107,91 @@ void cmd_audit(Deployment& d) {
   for (const auto& id : report.improper_searchers) {
     std::printf(" %s", id.c_str());
   }
-  std::printf("\ninconsistencies: %zu\n", report.inconsistencies);
+  std::printf("\ninconsistencies: %zu (bad RD sig %zu, RD without TR %zu, "
+              "bad TR sig %zu)\n",
+              report.inconsistencies(), report.bad_rd_signatures,
+              report.rd_without_trace, report.bad_trace_signatures);
+}
+
+/// Next epoch to anchor for a ledger: one past the newest anchored epoch.
+uint64_t next_epoch(const hcpp::ledger::Ledger& led) {
+  const hcpp::ledger::AnchoredCheckpoint* last = led.last_anchor();
+  return last == nullptr ? 0 : last->cp.epoch + 1;
+}
+
+void cmd_ledger(Deployment& d, std::istringstream& in) {
+  namespace lg = hcpp::ledger;
+  std::string sub;
+  in >> sub;
+  lg::Ledger& tr = d.aserver->trace_ledger();
+  lg::Ledger& rd = d.pdevice->rd_ledger();
+  if (sub == "verify") {
+    std::vector<std::string> all = d.all_keywords();
+    std::set<std::string> permitted(all.begin(), all.end());
+    LedgerAuditReport rep =
+        audit_ledgers(d.aserver->pub(), d.aserver->id(), tr, rd,
+                      d.anchors->authority_ids(), permitted);
+    std::printf("TR chain: %s (checked %llu)\n",
+                lg::to_string(rep.trace_chain.defect),
+                static_cast<unsigned long long>(rep.trace_chain.checked));
+    std::printf("RD chain: %s (checked %llu)\n",
+                lg::to_string(rep.rd_chain.defect),
+                static_cast<unsigned long long>(rep.rd_chain.checked));
+    std::printf("anchors: %s; proofs: %zu checked, %zu bad\n",
+                rep.anchors_ok ? "ok" : "BAD SIGNATURE CHAIN",
+                rep.proofs_checked, rep.bad_proofs);
+    std::printf("records: %zu accountable, %zu inconsistencies -> %s\n",
+                rep.records.accountable.size(),
+                rep.records.inconsistencies(), rep.ok() ? "ok" : "TAMPERED");
+  } else if (sub == "proof") {
+    uint64_t seq = UINT64_MAX;
+    in >> seq;
+    if (seq >= rd.size()) {
+      std::printf("usage: ledger proof <seq>  (RD ledger holds %zu entries)\n",
+                  rd.size());
+      return;
+    }
+    lg::InclusionProof proof = rd.prove(seq, rd.size());
+    Bytes root = rd.merkle_root(rd.size());
+    std::printf("RD entry %llu: proof depth %zu, root %s -> %s\n",
+                static_cast<unsigned long long>(seq), proof.path.size(),
+                hex_encode(root).substr(0, 16).c_str(),
+                lg::Ledger::verify_proof(root, proof) ? "verifies"
+                                                      : "FAILS");
+  } else if (sub == "anchor") {
+    auto drive = [&](const char* name, lg::Ledger& led,
+                     const std::string& from) {
+      uint64_t epoch = next_epoch(led);
+      lg::AnchorOutcome out =
+          lg::anchor_epoch(led, *d.anchors, d.net->transport(), from, epoch,
+                           d.net->clock().now());
+      std::string verdict = out.anchored     ? "anchored"
+                            : out.divergence ? "DIVERGENCE: " + out.detail
+                                             : "transient: " + out.detail;
+      std::printf("%s ledger epoch %llu: %s\n", name,
+                  static_cast<unsigned long long>(epoch), verdict.c_str());
+    };
+    drive("TR", tr, d.aserver->id());
+    drive("RD", rd, d.pdevice->id());
+  } else if (sub == "show") {
+    auto show = [](const char* name, const lg::Ledger& led) {
+      std::printf("%s ledger '%s': %zu entries, %zu anchors, %zu pending "
+                  "notifications, head %s\n",
+                  name, led.id().c_str(), led.size(), led.anchors().size(),
+                  led.pending_notifications(),
+                  hex_encode(led.head_hash()).substr(0, 16).c_str());
+      for (const lg::AnchoredCheckpoint& a : led.anchors()) {
+        std::printf("  anchor epoch %llu: %llu entries, %zu sigs\n",
+                    static_cast<unsigned long long>(a.cp.epoch),
+                    static_cast<unsigned long long>(a.cp.count),
+                    a.sigs.size());
+      }
+    };
+    show("TR", tr);
+    show("RD", rd);
+  } else {
+    std::printf("usage: ledger verify|proof <seq>|anchor|show\n");
+  }
 }
 
 void cmd_stats(Deployment& d) {
@@ -235,6 +323,8 @@ int main() {
                                                                : "FAILED");
       } else if (cmd == "audit") {
         cmd_audit(d);
+      } else if (cmd == "ledger") {
+        cmd_ledger(d, in);
       } else if (cmd == "stats") {
         cmd_stats(d);
       } else if (cmd == "metrics") {
@@ -249,8 +339,9 @@ int main() {
         std::printf(
             "store <n> | keywords | retrieve <kw> | family <kw> | "
             "emergency <dr> <kw> | onduty <dr> on|off | revoke "
-            "family|pdevice | audit | stats | metrics [json|prom] | "
-            "trace on|off|show|clear | quit\n");
+            "family|pdevice | audit | ledger verify|proof <seq>|anchor|show "
+            "| stats | metrics [json|prom] | trace on|off|show|clear | "
+            "quit\n");
       } else {
         std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
       }

@@ -1,7 +1,10 @@
 #include "src/core/accountability.h"
 
 #include <algorithm>
+#include <atomic>
 #include <optional>
+
+#include "src/par/pool.h"
 
 namespace hcpp::core {
 
@@ -123,11 +126,15 @@ AuditReport audit(const ibc::PublicParams& pub, const std::string& aserver_id,
   for (size_t i = 0; i < records.size(); ++i) {
     const RdRecord& rd = records[i];
     if (rd_slot[i] == SIZE_MAX || !rd_ok[rd_slot[i]]) {
-      ++report.inconsistencies;
+      ++report.bad_rd_signatures;
       continue;
     }
-    if (rd_match[i] == nullptr || !trace_verified(rd_match[i])) {
-      ++report.inconsistencies;
+    if (rd_match[i] == nullptr) {
+      ++report.rd_without_trace;
+      continue;
+    }
+    if (!trace_verified(rd_match[i])) {
+      ++report.bad_trace_signatures;
       continue;
     }
     if (std::find(report.accountable.begin(), report.accountable.end(),
@@ -146,6 +153,117 @@ AuditReport audit(const ibc::PublicParams& pub, const std::string& aserver_id,
     }
   }
   return report;
+}
+
+// ---- ledger event conversion ----------------------------------------------
+
+ledger::AccessEvent event_from_trace(const TraceRecord& tr) {
+  ledger::AccessEvent ev;
+  ev.kind = ledger::EventKind::kTrace;
+  ev.actor_id = tr.physician_id;
+  ev.subject = tr.tp;
+  ev.t10 = tr.t10;
+  ev.t11 = tr.t11;
+  ev.sig = tr.physician_sig;
+  return ev;
+}
+
+TraceRecord trace_from_event(const ledger::AccessEvent& ev) {
+  return {ev.actor_id, ev.subject, ev.t10, ev.t11, ev.sig};
+}
+
+ledger::AccessEvent event_from_rd(const RdRecord& rd) {
+  ledger::AccessEvent ev;
+  ev.kind = ledger::EventKind::kAccess;
+  ev.actor_id = rd.physician_id;
+  ev.subject = rd.tp;
+  ev.keywords = rd.keywords;
+  ev.t11 = rd.t11;
+  ev.sig = rd.aserver_sig;
+  return ev;
+}
+
+RdRecord rd_from_event(const ledger::AccessEvent& ev) {
+  return {ev.actor_id, ev.subject, ev.keywords, ev.t11, ev.sig};
+}
+
+// ---- chain-verifying audit -------------------------------------------------
+
+LedgerAuditReport audit_ledgers(
+    const ibc::PublicParams& pub, const std::string& aserver_id,
+    const ledger::Ledger& trace_ledger, const ledger::Ledger& rd_ledger,
+    std::span<const std::string> expected_authorities,
+    const std::set<std::string>& permitted_keywords,
+    par::ThreadPool* pool) {
+  LedgerAuditReport out;
+
+  // 1. History integrity: recompute both chains, then hold each against its
+  // newest anchored checkpoint. A clean chain that is *shorter* than the
+  // anchor is truncation; one whose prefix digest differs is a fork.
+  auto chain_verdict = [](const ledger::Ledger& led) {
+    if (const ledger::AnchoredCheckpoint* a = led.last_anchor()) {
+      return led.verify_against(*a);
+    }
+    return led.verify_chain();
+  };
+  out.trace_chain = chain_verdict(trace_ledger);
+  out.rd_chain = chain_verdict(rd_ledger);
+
+  // 2. The anchors themselves: every checkpoint must carry the full expected
+  // authority chain, each IBS verifying over the canonical statement.
+  for (const ledger::Ledger* led : {&trace_ledger, &rd_ledger}) {
+    for (const ledger::AnchoredCheckpoint& a : led->anchors()) {
+      if (!ledger::verify_anchor_sigs(pub, a, expected_authorities, pool)) {
+        out.anchors_ok = false;
+      }
+    }
+  }
+
+  // 3. Spot-check the anchored prefixes with inclusion proofs — O(log n)
+  // each, independent, so they spread across the pool.
+  auto check_proofs = [&](const ledger::Ledger& led) {
+    const ledger::AnchoredCheckpoint* a = led.last_anchor();
+    if (a == nullptr || a->cp.count == 0 || a->cp.count > led.size()) return;
+    const uint64_t count = a->cp.count;
+    std::atomic<size_t> bad{0};
+    auto check_one = [&](size_t seq) {
+      ledger::InclusionProof proof = led.prove(seq, count);
+      if (!ledger::Ledger::verify_proof(a->cp.merkle_root, proof)) {
+        bad.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(count, check_one);
+    } else {
+      for (uint64_t seq = 0; seq < count; ++seq) check_one(seq);
+    }
+    out.proofs_checked += count;
+    out.bad_proofs += bad.load();
+  };
+  check_proofs(trace_ledger);
+  check_proofs(rd_ledger);
+
+  // 4. Record-level audit over the decoded events. Undecodable payloads
+  // cannot occur on an intact chain (the entry hash commits to the encoding
+  // verified above), so decoding failures are already counted in the chain
+  // verdicts and skipped here.
+  std::vector<TraceRecord> traces;
+  for (const ledger::LedgerEntry& e : trace_ledger.entries()) {
+    try {
+      traces.push_back(trace_from_event(e.event()));
+    } catch (const std::exception&) {
+    }
+  }
+  std::vector<RdRecord> records;
+  for (const ledger::LedgerEntry& e : rd_ledger.entries()) {
+    try {
+      records.push_back(rd_from_event(e.event()));
+    } catch (const std::exception&) {
+    }
+  }
+  out.records =
+      audit(pub, aserver_id, traces, records, permitted_keywords, pool);
+  return out;
 }
 
 }  // namespace hcpp::core

@@ -2,11 +2,20 @@
 // RD records from the P-device, verifies the A-server signatures they embed,
 // cross-checks them against the A-server's TR log, and flags physicians who
 // searched beyond the keyword set a treatment justified.
+//
+// Two tiers. audit() judges the *records* (signatures + cross-referencing).
+// audit_ledgers() additionally judges the *history*: both logs live in
+// tamper-evident hash-chained ledgers (src/ledger) whose epoch checkpoints
+// are IBS-countersigned up the hospital → state → federal anchor hierarchy,
+// so a holder who truncates, reorders or forks its log is caught by chain
+// verification against the anchors — even when every surviving record still
+// carries a valid signature.
 #pragma once
 
 #include <set>
 
 #include "src/core/entities.h"
+#include "src/ledger/anchor.h"
 
 namespace hcpp::core {
 
@@ -17,6 +26,15 @@ bool verify_rd(const ibc::PublicParams& pub, const std::string& aserver_id,
 /// Verifies the physician's request signature inside one TR trace.
 bool verify_trace(const ibc::PublicParams& pub, const TraceRecord& tr);
 
+// ---- ledger event conversion ----------------------------------------------
+// The ledger layer is core-agnostic; these adapters are the single place the
+// TR/RD structs map onto ledger::AccessEvent and back.
+
+ledger::AccessEvent event_from_trace(const TraceRecord& tr);
+TraceRecord trace_from_event(const ledger::AccessEvent& ev);
+ledger::AccessEvent event_from_rd(const RdRecord& rd);
+RdRecord rd_from_event(const ledger::AccessEvent& ev);
+
 struct AuditReport {
   /// Physicians with a verified RD + matching verified TR: provably
   /// interacted with the P-device and can be held accountable for any leak.
@@ -24,9 +42,16 @@ struct AuditReport {
   /// RD entries containing keywords outside the permitted set — evidence of
   /// over-broad searching even without a leak (§V.A accountability).
   std::vector<std::string> improper_searchers;
-  /// RD records whose signature failed, or with no matching TR — an
-  /// inconsistency that itself warrants investigation.
-  size_t inconsistencies = 0;
+  /// Typed inconsistency counts, so a chaos test (or an investigator) can
+  /// tell *which* failure occurred rather than seeing one opaque tally:
+  size_t bad_rd_signatures = 0;   // RD whose embedded A-server IBS failed
+  size_t rd_without_trace = 0;    // verified RD with no matching TR at all
+  size_t bad_trace_signatures = 0;  // matching TR found, physician IBS bad
+
+  /// Anything that warrants investigation (the historical single counter).
+  [[nodiscard]] size_t inconsistencies() const noexcept {
+    return bad_rd_signatures + rd_without_trace + bad_trace_signatures;
+  }
 };
 
 /// Cross-checks the P-device's RD log against the A-server's TR log. The
@@ -38,5 +63,36 @@ AuditReport audit(const ibc::PublicParams& pub, const std::string& aserver_id,
                   std::span<const RdRecord> records,
                   const std::set<std::string>& permitted_keywords,
                   par::ThreadPool* pool = nullptr);
+
+/// The full ledger-level audit verdict: record-level findings plus the
+/// integrity of both histories.
+struct LedgerAuditReport {
+  AuditReport records;                // signature/cross-check tier
+  ledger::ChainVerdict trace_chain;   // TR ledger vs its last anchor
+  ledger::ChainVerdict rd_chain;      // RD ledger chain verification
+  bool anchors_ok = true;             // every anchor's IBS chain verified
+  size_t proofs_checked = 0;          // Merkle inclusion proofs verified
+  size_t bad_proofs = 0;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return trace_chain.ok() && rd_chain.ok() && anchors_ok &&
+           bad_proofs == 0 && records.inconsistencies() == 0;
+  }
+};
+
+/// Chain-verifying audit. Beyond audit() on the decoded events, it
+///   * runs verify_chain() on both ledgers and verify_against() their last
+///     anchored checkpoints (detecting truncation, reordering, forks and
+///     gap-in-sequence tampering);
+///   * batch-verifies every anchor's hospital → state → federal IBS chain
+///     (ibc::ibs_verify_batch under `expected_authorities`);
+///   * spot-checks the anchored prefix with O(log n) Merkle inclusion
+///     proofs, spread across `pool` when provided.
+LedgerAuditReport audit_ledgers(
+    const ibc::PublicParams& pub, const std::string& aserver_id,
+    const ledger::Ledger& trace_ledger, const ledger::Ledger& rd_ledger,
+    std::span<const std::string> expected_authorities,
+    const std::set<std::string>& permitted_keywords,
+    par::ThreadPool* pool = nullptr);
 
 }  // namespace hcpp::core

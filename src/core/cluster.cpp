@@ -21,6 +21,8 @@ AServerCluster::AServerCluster(sim::Network& net, const curve::CurveCtx& ctx,
         net, replicas_[0]->domain(), base_id + "-" + std::to_string(i),
         seed));
   }
+  anchors_ = std::make_unique<ledger::AnchorChain>(
+      replicas_[0]->domain(), ledger::default_anchor_authorities());
   up_.assign(replicas, true);
 }
 

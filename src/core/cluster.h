@@ -13,6 +13,7 @@
 #pragma once
 
 #include "src/core/entities.h"
+#include "src/ledger/anchor.h"
 
 namespace hcpp::core {
 
@@ -44,9 +45,17 @@ class AServerCluster {
   /// Union of all offices' TR logs (for audits spanning a failover).
   [[nodiscard]] std::vector<TraceRecord> all_traces() const;
 
+  /// Checkpoint-anchoring hierarchy rooted in the shared domain (office 0
+  /// mints it): the hospital → state → federal authorities every office's
+  /// trace ledger anchors its epochs through (src/ledger/anchor.h).
+  [[nodiscard]] ledger::AnchorChain& anchor_chain() noexcept {
+    return *anchors_;
+  }
+
  private:
   sim::Network* net_;
   std::vector<std::unique_ptr<AServer>> replicas_;
+  std::unique_ptr<ledger::AnchorChain> anchors_;
   std::vector<bool> up_;
 };
 

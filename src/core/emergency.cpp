@@ -20,6 +20,7 @@
 #include <set>
 
 #include "src/cipher/aead.h"
+#include "src/core/accountability.h"
 #include "src/core/cluster.h"
 #include "src/core/entities.h"
 #include "src/obs/trace.h"
@@ -286,8 +287,11 @@ std::optional<AServer::EmergencyAuthOutcome> AServer::handle_emergency_auth(
                     rd_statement(req.physician_id, req.tp, t11), rng_)
           .to_bytes();
 
-  // TR: the accountability trace (§IV.E.2).
+  // TR: the accountability trace (§IV.E.2) — the loose log the legacy audit
+  // reads, plus the tamper-evident hash-chained mirror the ledger audit
+  // verifies against the anchored checkpoints.
   traces_.push_back({req.physician_id, req.tp, req.t, t11, req.sig});
+  trace_ledger_.append(event_from_trace(traces_.back()));
   return out;
 }
 
@@ -441,9 +445,12 @@ Result<std::vector<sse::PlainFile>> PDevice::try_emergency_retrieve(
     result = privileged_retrieve(*net_, id_, server, *bundle_, valid);
   }
   // RD: record which physician searched what (§IV.E.2) — kept even when the
-  // network failed the retrieval, because the secrets were touched.
+  // network failed the retrieval, because the secrets were touched. The
+  // ledger append also queues the patient notification ("your data was just
+  // accessed") behind rd_ledger().drain_notifications().
   rd_log_.push_back({*session_physician_, bundle_->tp, valid, session_t11_,
                      session_aserver_sig_});
+  rd_ledger_.append(event_from_rd(rd_log_.back()));
   session_physician_.reset();  // one retrieval per passcode session
   return result;
 }
@@ -471,6 +478,7 @@ Result<std::vector<sse::PlainFile>> PDevice::emergency_retrieve(
   }
   rd_log_.push_back({*session_physician_, bundle_->tp, valid, session_t11_,
                      session_aserver_sig_});
+  rd_ledger_.append(event_from_rd(rd_log_.back()));
   session_physician_.reset();
   return result;
 }

@@ -27,6 +27,7 @@ AServer::AServer(sim::Network& net, const curve::CurveCtx& ctx, std::string id,
         cipher::Drbg boot(seed_for(seed, "aserver-master"));
         return curve::random_scalar(ctx, boot);
       }()),
+      trace_ledger_(id_ + "/tr"),
       rng_(seed_for(seed, "aserver-rng")) {
   self_key_ = domain_.extract(id_);
   key_deriver_ = ibc::SharedKeyDeriver(domain_.ctx(), self_key_);
@@ -37,6 +38,7 @@ AServer::AServer(sim::Network& net, const ibc::Domain& shared_domain,
     : net_(&net),
       id_(std::move(id)),
       domain_(shared_domain),
+      trace_ledger_(id_ + "/tr"),
       rng_(seed_for(seed, "aserver-replica-rng")) {
   self_key_ = domain_.extract(id_);
   key_deriver_ = ibc::SharedKeyDeriver(domain_.ctx(), self_key_);
@@ -315,6 +317,7 @@ bool Family::receive_bundle(BytesView sealed, BytesView mu) {
 PDevice::PDevice(sim::Network& net, std::string id, RandomSource& seed)
     : net_(&net),
       id_(std::move(id)),
+      rd_ledger_(id_ + "/rd"),
       rng_(seed_for(seed, "pdevice-" + id_)) {}
 
 bool PDevice::receive_bundle(BytesView sealed, BytesView mu) {

@@ -22,6 +22,7 @@
 #include "src/core/record.h"
 #include "src/ibc/domain.h"
 #include "src/ibc/hibc.h"
+#include "src/ledger/ledger.h"
 #include "src/peks/peks.h"
 #include "src/sim/network.h"
 
@@ -97,6 +98,16 @@ class AServer {
     return traces_;
   }
 
+  /// Tamper-evident mirror of the TR log: every handle_emergency_auth also
+  /// appends the trace as a hash-chained ledger entry, so the audit can
+  /// detect a truncated/reordered/forked history, not just bad signatures.
+  [[nodiscard]] ledger::Ledger& trace_ledger() noexcept {
+    return trace_ledger_;
+  }
+  [[nodiscard]] const ledger::Ledger& trace_ledger() const noexcept {
+    return trace_ledger_;
+  }
+
  private:
   sim::Network* net_;
   std::string id_;
@@ -105,6 +116,7 @@ class AServer {
   ibc::SharedKeyDeriver key_deriver_;  // fixed-Γ_A NIKE precomputation
   std::map<std::string, bool> on_duty_;
   std::vector<TraceRecord> traces_;
+  ledger::Ledger trace_ledger_;
   mutable cipher::Drbg rng_;
 };
 
@@ -414,6 +426,14 @@ class PDevice {
   /// patient's phone.
   [[nodiscard]] int alert_count() const noexcept { return alerts_; }
 
+  /// Tamper-evident mirror of the RD log: every emergency retrieval appends
+  /// the record as a hash-chained entry and queues a patient notification
+  /// (Ledger::drain_notifications — the phone's alert feed).
+  [[nodiscard]] ledger::Ledger& rd_ledger() noexcept { return rd_ledger_; }
+  [[nodiscard]] const ledger::Ledger& rd_ledger() const noexcept {
+    return rd_ledger_;
+  }
+
   [[nodiscard]] const std::string& id() const noexcept { return id_; }
 
  private:
@@ -428,6 +448,7 @@ class PDevice {
   Bytes session_aserver_sig_;
   std::vector<MhiWindow> mhi_;
   std::vector<RdRecord> rd_log_;
+  ledger::Ledger rd_ledger_;
   int alerts_ = 0;
   mutable cipher::Drbg rng_;
 };

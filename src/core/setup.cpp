@@ -22,6 +22,8 @@ Deployment Deployment::create(const DeploymentConfig& config) {
   d.off_duty = std::make_unique<Physician>(*d.net, *d.aserver, "dr-off-duty");
   d.aserver->set_on_duty("dr-on-duty", true);
   d.aserver->set_on_duty("dr-off-duty", false);
+  d.anchors = std::make_unique<ledger::AnchorChain>(
+      d.aserver->domain(), ledger::default_anchor_authorities());
 
   d.patient = std::make_unique<Patient>(*d.net, "patient-alice", *d.rng);
   d.patient->setup(*d.aserver, d.sserver->id());

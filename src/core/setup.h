@@ -32,6 +32,9 @@ struct Deployment {
   std::unique_ptr<PDevice> pdevice;
   std::unique_ptr<Physician> on_duty;
   std::unique_ptr<Physician> off_duty;
+  /// Hospital → state → federal checkpoint-anchoring hierarchy
+  /// (ledger::default_anchor_authorities()), rooted in the A-server's domain.
+  std::unique_ptr<ledger::AnchorChain> anchors;
   Bytes mu_family;   // pre-shared key patient↔family
   Bytes mu_pdevice;  // pre-shared key patient↔P-device
 

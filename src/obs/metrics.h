@@ -84,6 +84,22 @@ inline constexpr const char* kSseSearchHits = "sse.search_hits";
 // "par.<pool>.queue_depth" (gauge, tasks waiting), "par.<pool>.task_ns"
 // (histogram, wall time of one shard body), "par.<pool>.tasks" (counter).
 
+// Audit ledger (src/ledger).
+inline constexpr const char* kLedgerAppends = "ledger.appends";
+inline constexpr const char* kLedgerAppendNs = "ledger.append_ns";
+inline constexpr const char* kLedgerNotifications = "ledger.notifications";
+inline constexpr const char* kLedgerCheckpoints = "ledger.checkpoints";
+inline constexpr const char* kLedgerAnchorAttempts = "ledger.anchor_attempts";
+inline constexpr const char* kLedgerAnchorsCommitted =
+    "ledger.anchors_committed";
+inline constexpr const char* kLedgerAnchorDivergence =
+    "ledger.anchor_divergence";
+inline constexpr const char* kLedgerChainVerifyNs = "ledger.chain_verify_ns";
+inline constexpr const char* kLedgerProofVerifyNs = "ledger.proof_verify_ns";
+inline constexpr const char* kLedgerRecoveredEntries =
+    "ledger.recovered_entries";
+inline constexpr const char* kLedgerTornTailBytes = "ledger.torn_tail_bytes";
+
 // Replication / failover (src/core/cluster.cpp and the failover loops).
 inline constexpr const char* kSGroupFailover = "cluster.sserver.failover";
 inline constexpr const char* kSGroupMirrorWrites =

@@ -55,12 +55,22 @@ bool Network::node_up_at(const std::string& id, uint64_t now) const {
   return true;
 }
 
+void Network::add_partition(PartitionWindow window) {
+  dynamic_partitions_.push_back(std::move(window));
+}
+
 bool Network::partitioned_at(const std::string& a, const std::string& b,
                              uint64_t now) const {
+  auto covers = [&](const PartitionWindow& w) {
+    bool match = (w.a == a && w.b == b) || (w.a == b && w.b == a);
+    return match && now >= w.from_ns && now < w.until_ns;
+  };
+  for (const PartitionWindow& w : dynamic_partitions_) {
+    if (covers(w)) return true;
+  }
   if (plan_ == nullptr) return false;
   for (const PartitionWindow& w : plan_->partitions) {
-    bool covers = (w.a == a && w.b == b) || (w.a == b && w.b == a);
-    if (covers && now >= w.from_ns && now < w.until_ns) return true;
+    if (covers(w)) return true;
   }
   return false;
 }

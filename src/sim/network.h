@@ -122,6 +122,13 @@ class Network {
   void set_node_up(const std::string& id, bool up);
   [[nodiscard]] bool node_up(const std::string& id) const;
 
+  /// Dynamic partition control. Plan partitions are fixed when the plan is
+  /// installed; these compose with them and can be cut (and healed) at the
+  /// current clock time — what the ledger chaos tests need to sever a link
+  /// mid-anchoring. Works with or without a fault plan.
+  void add_partition(PartitionWindow window);
+  void clear_partitions() noexcept { dynamic_partitions_.clear(); }
+
   /// One draw from the fault DRBG — lets the transport's backoff jitter
   /// share the plan's deterministic stream.
   [[nodiscard]] uint64_t fault_u64();
@@ -161,6 +168,7 @@ class Network {
   TrafficStats total_;
   std::map<std::string, std::map<Bytes, uint64_t>> replay_seen_;
   std::unique_ptr<FaultPlan> plan_;
+  std::vector<PartitionWindow> dynamic_partitions_;
   cipher::Drbg fault_rng_;
   std::set<std::string> manually_down_;
   std::unique_ptr<Transport> transport_;

@@ -51,7 +51,7 @@ TEST(Accountability, AuditLinksPhysician) {
   ASSERT_EQ(report.accountable.size(), 1u);
   EXPECT_EQ(report.accountable[0], "dr-on-duty");
   EXPECT_TRUE(report.improper_searchers.empty());
-  EXPECT_EQ(report.inconsistencies, 0u);
+  EXPECT_EQ(report.inconsistencies(), 0u);
 }
 
 TEST(Accountability, OverBroadSearchFlagged) {
@@ -81,7 +81,10 @@ TEST(Accountability, ForgedRdDetected) {
       audit(f.d.aserver->pub(), f.d.aserver->id(), f.d.aserver->traces(),
             records, permitted);
   EXPECT_TRUE(report.accountable.empty());
-  EXPECT_EQ(report.inconsistencies, 1u);
+  EXPECT_EQ(report.inconsistencies(), 1u);
+  EXPECT_EQ(report.bad_rd_signatures, 1u);  // typed: it was the RD signature
+  EXPECT_EQ(report.rd_without_trace, 0u);
+  EXPECT_EQ(report.bad_trace_signatures, 0u);
 }
 
 TEST(Accountability, RdWithoutMatchingTraceIsInconsistent) {
@@ -96,7 +99,9 @@ TEST(Accountability, RdWithoutMatchingTraceIsInconsistent) {
       audit(f.d.aserver->pub(), f.d.aserver->id(), no_traces,
             f.d.pdevice->records(), permitted);
   EXPECT_TRUE(report.accountable.empty());
-  EXPECT_EQ(report.inconsistencies, 1u);
+  EXPECT_EQ(report.inconsistencies(), 1u);
+  EXPECT_EQ(report.rd_without_trace, 1u);  // typed: orphan RD, not a bad sig
+  EXPECT_EQ(report.bad_rd_signatures, 0u);
 }
 
 TEST(Accountability, TamperedTraceDetected) {
@@ -120,7 +125,88 @@ TEST(Accountability, MultipleEmergenciesAllAudited) {
       audit(f.d.aserver->pub(), f.d.aserver->id(), f.d.aserver->traces(),
             f.d.pdevice->records(), permitted);
   EXPECT_EQ(report.accountable.size(), 1u);  // same physician, deduplicated
-  EXPECT_EQ(report.inconsistencies, 0u);
+  EXPECT_EQ(report.inconsistencies(), 0u);
+}
+
+// ---- edge cases -----------------------------------------------------------
+
+TEST(Accountability, EmptyLogsAuditCleanly) {
+  AuditFixture f(38);
+  // Nothing happened: no traces, no RDs. The audit must report all-zero
+  // typed counts rather than tripping over the empty spans.
+  std::set<std::string> permitted;
+  AuditReport report = audit(f.d.aserver->pub(), f.d.aserver->id(), {}, {},
+                             permitted);
+  EXPECT_TRUE(report.accountable.empty());
+  EXPECT_TRUE(report.improper_searchers.empty());
+  EXPECT_EQ(report.inconsistencies(), 0u);
+  EXPECT_EQ(report.bad_rd_signatures, 0u);
+  EXPECT_EQ(report.rd_without_trace, 0u);
+  EXPECT_EQ(report.bad_trace_signatures, 0u);
+}
+
+TEST(Accountability, DuplicateRdForSameAccessIsConsistent) {
+  AuditFixture f(39);
+  std::vector<std::string> kws = {f.d.all_keywords().front()};
+  f.run_emergency(kws);
+  // A retransmitted RD (same access, same signature) is not tampering: both
+  // copies match the single trace and the physician stays accountable once.
+  std::vector<RdRecord> records = {f.d.pdevice->records()[0],
+                                   f.d.pdevice->records()[0]};
+  std::set<std::string> permitted(kws.begin(), kws.end());
+  AuditReport report =
+      audit(f.d.aserver->pub(), f.d.aserver->id(), f.d.aserver->traces(),
+            records, permitted);
+  EXPECT_EQ(report.accountable.size(), 1u);
+  EXPECT_EQ(report.inconsistencies(), 0u);
+}
+
+TEST(Accountability, TraceWithoutRdIsNotAnInconsistency) {
+  AuditFixture f(40);
+  std::vector<std::string> kws = {f.d.all_keywords().front()};
+  f.run_emergency(kws);
+  // A trace with no matching RD means the passcode was issued but never used
+  // for a retrieval — suspicious at a higher layer, but the records
+  // themselves are consistent, so the typed counts stay zero.
+  std::vector<RdRecord> no_records;
+  std::set<std::string> permitted(kws.begin(), kws.end());
+  AuditReport report =
+      audit(f.d.aserver->pub(), f.d.aserver->id(), f.d.aserver->traces(),
+            no_records, permitted);
+  EXPECT_TRUE(report.accountable.empty());
+  EXPECT_TRUE(report.improper_searchers.empty());
+  EXPECT_EQ(report.inconsistencies(), 0u);
+}
+
+TEST(Accountability, PermittedKeywordBoundaries) {
+  AuditFixture f(41);
+  std::vector<std::string> all = f.d.all_keywords();
+  ASSERT_GE(all.size(), 2u);
+  std::vector<std::string> kws = {all[0], all[1]};
+  f.run_emergency(kws);
+
+  // Exact cover: searching precisely the permitted set is proper.
+  std::set<std::string> exact(kws.begin(), kws.end());
+  AuditReport ok = audit(f.d.aserver->pub(), f.d.aserver->id(),
+                         f.d.aserver->traces(), f.d.pdevice->records(), exact);
+  EXPECT_TRUE(ok.improper_searchers.empty());
+
+  // One keyword over the line is already improper — the boundary is strict.
+  std::set<std::string> minus_one = {kws[0]};
+  AuditReport over =
+      audit(f.d.aserver->pub(), f.d.aserver->id(), f.d.aserver->traces(),
+            f.d.pdevice->records(), minus_one);
+  ASSERT_EQ(over.improper_searchers.size(), 1u);
+  EXPECT_EQ(over.improper_searchers[0], "dr-on-duty");
+
+  // An empty permitted set flags any non-empty search.
+  std::set<std::string> none;
+  AuditReport strict =
+      audit(f.d.aserver->pub(), f.d.aserver->id(), f.d.aserver->traces(),
+            f.d.pdevice->records(), none);
+  EXPECT_EQ(strict.improper_searchers.size(), 1u);
+  // Improper scope is a policy violation, not a record inconsistency.
+  EXPECT_EQ(strict.inconsistencies(), 0u);
 }
 
 TEST(Accountability, RdSerializationRoundTrip) {

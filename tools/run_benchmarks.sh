@@ -11,6 +11,10 @@
 #                           IBS paths at 1/2/4/8 threads; context records
 #                           hardware_concurrency so flat scaling on small
 #                           containers is self-explanatory)
+#   BENCH_ledger.json     — bench_ledger (audit-ledger appends/s with and
+#                           without the WAL, chain verify, recovery replay,
+#                           Merkle proofs/s; proof-verify latency p50/p95/p99
+#                           sourced from the obs histogram)
 #
 # Usage: tools/run_benchmarks.sh [build-dir]
 # Always configures the bench build directory with an explicit optimized
@@ -44,9 +48,9 @@ esac
 cmake -B "$build_dir" -S "$repo_root" -DHCPP_BENCH=ON \
   -DCMAKE_BUILD_TYPE="$build_type"
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target bench_computation bench_protocols bench_throughput
+  --target bench_computation bench_protocols bench_throughput bench_ledger
 
-for bin in bench_computation bench_protocols bench_throughput; do
+for bin in bench_computation bench_protocols bench_throughput bench_ledger; do
   if [[ ! -x "$build_dir/bench/$bin" ]]; then
     echo "error: $build_dir/bench/$bin still missing after the build" \
          "(HCPP_BENCH=OFF in the cache?)" >&2
@@ -117,3 +121,25 @@ if build != "release":
              "refusing to keep numbers from a non-optimized build")
 EOF
 echo "wrote $repo_root/BENCH_throughput.json"
+
+# bench_ledger writes its own JSON; same debug-build guard.
+"$build_dir/bench/bench_ledger" \
+  --json-out="$repo_root/BENCH_ledger.json" >/dev/null
+python3 - "$repo_root/BENCH_ledger.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    report = json.load(f)
+build = report.get("context", {}).get("library_build_type", "missing")
+if build != "release":
+    import os
+    os.unlink(path)
+    sys.exit(f"error: ledger report says library_build_type={build!r}; "
+             "refusing to keep numbers from a non-optimized build")
+if report.get("proof_verify_latency_ns", {}).get("count", 0) == 0:
+    import os
+    os.unlink(path)
+    sys.exit("error: ledger report has no proof-verify latency samples; "
+             "was the obs registry attached?")
+EOF
+echo "wrote $repo_root/BENCH_ledger.json"
