@@ -6,13 +6,17 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <ctime>
 #include <string>
 #include <string_view>
 
+#include "src/cipher/chacha20.h"
 #include "src/cipher/drbg.h"
 #include "src/ibc/ibe.h"
 #include "src/ibc/ibs.h"
+#include "src/mp/dispatch.h"
+#include "src/mp/mont.h"
 #include "src/mp/prime.h"
 #include "src/peks/peks.h"
 
@@ -47,6 +51,55 @@ void BM_MontMul(benchmark::State& state) {
   state.SetLabel(set_name(state.range(0)));
 }
 BENCHMARK(BM_MontMul)->Arg(0)->Arg(1)->Unit(benchmark::kNanosecond);
+
+// Kernel ablation for the CIOS multiply: the same serial-dependency loop
+// through a context built with the runtime-dispatched kernel (MULX/ADX where
+// the CPU has it) and through one pinned to the portable kernel by setting
+// HCPP_FORCE_GENERIC around construction (MontCtx samples the dispatch state
+// when built). The label records the kernel that actually ran so
+// BENCH_pairing.json rows stay interpretable on non-ADX hosts, where both
+// benches measure the generic path.
+mp::MontCtx make_generic_ctx(const mp::U512& m) {
+  const char* prev = std::getenv("HCPP_FORCE_GENERIC");
+  std::string saved = prev != nullptr ? prev : "";
+  ::setenv("HCPP_FORCE_GENERIC", "1", 1);
+  mp::refresh_dispatch();
+  mp::MontCtx ctx(m);
+  if (prev != nullptr) {
+    ::setenv("HCPP_FORCE_GENERIC", saved.c_str(), 1);
+  } else {
+    ::unsetenv("HCPP_FORCE_GENERIC");
+  }
+  mp::refresh_dispatch();
+  return ctx;
+}
+
+void bench_mont_mul(benchmark::State& state, const curve::CurveCtx& ctx,
+                    const mp::MontCtx& mont) {
+  cipher::Drbg rng(to_bytes("bench-montmul-kernel"));
+  mp::U512 a = mont.to_mont(mp::random_below(ctx.p, rng));
+  mp::U512 b = mont.to_mont(mp::random_below(ctx.p, rng));
+  for (auto _ : state) {
+    a = mont.mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetLabel(std::string(set_name(state.range(0))) + "/" +
+                 mont.kernel_name());
+}
+
+void BM_MontMulMulx(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  mp::MontCtx mont(ctx.p);
+  bench_mont_mul(state, ctx, mont);
+}
+BENCHMARK(BM_MontMulMulx)->Arg(0)->Arg(1)->Unit(benchmark::kNanosecond);
+
+void BM_MontMulGeneric(benchmark::State& state) {
+  const curve::CurveCtx& ctx = ctx_for(state.range(0));
+  mp::MontCtx mont = make_generic_ctx(ctx.p);
+  bench_mont_mul(state, ctx, mont);
+}
+BENCHMARK(BM_MontMulGeneric)->Arg(0)->Arg(1)->Unit(benchmark::kNanosecond);
 
 void BM_Fp2Mul(benchmark::State& state) {
   const curve::CurveCtx& ctx = ctx_for(state.range(0));
@@ -458,6 +511,16 @@ class HonestJsonReporter : public benchmark::JSONReporter {
       out << cpu.load_avg[i];
     }
     out << "],\n";
+    // Which vectorized kernels this process dispatched to — the ablation
+    // benches above only make sense alongside this record.
+    const auto& feat = mp::cpu_features();
+    out << "    \"cpu_features\": {\"bmi2\": "
+        << (feat.bmi2 ? "true" : "false")
+        << ", \"adx\": " << (feat.adx ? "true" : "false")
+        << ", \"avx2\": " << (feat.avx2 ? "true" : "false") << "},\n";
+    out << "    \"mont_kernel\": \"" << mp::mont_kernel_name() << "\",\n";
+    out << "    \"chacha_kernel\": \"" << cipher::chacha20_kernel_name()
+        << "\",\n";
 #ifdef NDEBUG
     out << "    \"library_build_type\": \"release\"\n";
 #else

@@ -8,15 +8,19 @@
 // Plain main() harness (like bench_protocols): wall-clock throughput of
 // whole operations is the quantity of interest, not ns/op distributions.
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/cipher/chacha20.h"
 #include "src/cipher/drbg.h"
+#include "src/mp/dispatch.h"
 #include "src/core/record.h"
 #include "src/core/search_service.h"
 #include "src/core/setup.h"
@@ -134,6 +138,32 @@ Row bench_ibs_batch(size_t threads, const ibc::Domain& domain,
   return {"ibs_verify_batch", threads, ops, "sigs/s"};
 }
 
+// Single-thread ChaCha20 bulk-xor row per kernel variant: chacha20_xor_avx2
+// vs chacha20_xor_generic (on non-AVX2 hosts both rows measure the scalar
+// core and the names coincide at "generic"). This is the cipher half of the
+// collection_aead speedup, isolated from AEAD framing and the pool.
+Row bench_chacha_xor(bool force_generic) {
+  if (force_generic) {
+    ::setenv("HCPP_FORCE_GENERIC", "1", 1);
+  } else {
+    ::unsetenv("HCPP_FORCE_GENERIC");
+  }
+  mp::refresh_dispatch();
+  std::array<uint8_t, cipher::kChaChaKeySize> key{};
+  std::array<uint8_t, cipher::kChaChaNonceSize> nonce{};
+  key.fill(0x42);
+  nonce.fill(0x17);
+  Bytes buf(1 << 20, 0x5a);
+  double ops = measure(0.5, 1, [&] {
+    cipher::chacha20_xor(key, nonce, 0, buf);
+  });
+  std::string workload =
+      std::string("chacha20_xor_") + cipher::chacha20_kernel_name();
+  ::unsetenv("HCPP_FORCE_GENERIC");
+  mp::refresh_dispatch();
+  return {workload, 1, ops, "MiB/s"};
+}
+
 void write_json(const char* path, const std::vector<Row>& rows) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -145,15 +175,23 @@ void write_json(const char* path, const std::vector<Row>& rows) {
 #else
   const char* build_type = "debug";
 #endif
+  const auto& feat = mp::cpu_features();
   std::fprintf(f,
                "{\n  \"context\": {\n"
                "    \"source\": \"bench_throughput\",\n"
                "    \"library_build_type\": \"%s\",\n"
                "    \"hardware_concurrency\": %u,\n"
+               "    \"cpu_features\": {\"bmi2\": %s, \"adx\": %s, "
+               "\"avx2\": %s},\n"
+               "    \"mont_kernel\": \"%s\",\n"
+               "    \"chacha_kernel\": \"%s\",\n"
                "    \"speedup_note\": \"thread scaling is bounded by "
                "hardware_concurrency; on a single-core host all thread "
                "counts measure the same core\"\n  },\n  \"benchmarks\": [\n",
-               build_type, std::thread::hardware_concurrency());
+               build_type, std::thread::hardware_concurrency(),
+               feat.bmi2 ? "true" : "false", feat.adx ? "true" : "false",
+               feat.avx2 ? "true" : "false", mp::mont_kernel_name(),
+               cipher::chacha20_kernel_name());
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
@@ -211,6 +249,8 @@ int main(int argc, char** argv) {
     rows.push_back(bench_search(t, d));
     rows.push_back(bench_ibs_batch(t, domain, sigs));
   }
+  rows.push_back(bench_chacha_xor(false));
+  rows.push_back(bench_chacha_xor(true));
   // Group the printout by workload so scaling reads top-to-bottom.
   std::stable_sort(rows.begin(), rows.end(),
                    [](const Row& a, const Row& b) {

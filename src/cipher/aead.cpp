@@ -13,26 +13,48 @@ namespace {
 constexpr size_t kNonceSize = 12;
 constexpr size_t kTagSize = 32;
 
-// Splits the user key into independent encryption and MAC keys.
-void derive_keys(BytesView key, Bytes& enc_key, Bytes& mac_key) {
+// The user key split into independent encryption and MAC keys, with the
+// HMAC pad midstates precomputed. The collection paths seal thousands of
+// files under ONE key, so the schedule is memoized per thread on the key
+// bytes: the HKDF (and the two pad compressions) run once per key instead
+// of once per file. Derivation is deterministic, so the cache cannot change
+// any output. The cached copy lives as long as the thread — the same
+// lifetime as the user key it is derived from, which the caller holds
+// anyway — so the per-call secure_wipe of earlier versions bought nothing
+// and is dropped with the per-call derivation.
+struct DerivedKeys {
+  Bytes key;      // user key these were derived from (cache tag)
+  Bytes enc_key;  // ChaCha20 key
+  hash::HmacKey mac;
+};
+
+const DerivedKeys& derived_for(BytesView key) {
   if (key.size() != kAeadKeySize) {
     throw std::invalid_argument("aead: key must be 32 bytes");
   }
-  Bytes okm = hash::hkdf(key, {}, to_bytes("hcpp-aead-v1"), 64);
-  enc_key.assign(okm.begin(), okm.begin() + 32);
-  mac_key.assign(okm.begin() + 32, okm.end());
+  thread_local DerivedKeys cache;
+  if (cache.key.size() != key.size() ||
+      !std::equal(key.begin(), key.end(), cache.key.begin())) {
+    Bytes okm = hash::hkdf(key, {}, to_bytes("hcpp-aead-v1"), 64);
+    cache.key.assign(key.begin(), key.end());
+    cache.enc_key.assign(okm.begin(), okm.begin() + 32);
+    cache.mac = hash::HmacKey(BytesView(okm.data() + 32, 32));
+    secure_wipe(okm);
+  }
+  return cache;
 }
 
-Bytes mac_input(BytesView nonce, BytesView ciphertext, BytesView aad) {
-  // Unambiguous framing: aad_len || aad || nonce || ciphertext.
-  Bytes m;
-  for (int shift = 56; shift >= 0; shift -= 8) {
-    m.push_back(static_cast<uint8_t>(aad.size() >> shift));
+// Unambiguous framing: aad_len || aad || nonce || ciphertext, streamed
+// straight into the MAC.
+Bytes aead_tag(const hash::HmacKey& mac, BytesView nonce,
+               BytesView ciphertext, BytesView aad) {
+  uint8_t len[8];
+  for (int i = 0; i < 8; ++i) {
+    len[i] = static_cast<uint8_t>(aad.size() >> (56 - 8 * i));
   }
-  append(m, aad);
-  append(m, nonce);
-  append(m, ciphertext);
-  return m;
+  hash::Digest d = mac.eval_digest_parts(
+      {BytesView(len, sizeof(len)), aad, nonce, ciphertext});
+  return Bytes(d.begin(), d.end());
 }
 
 }  // namespace
@@ -42,16 +64,13 @@ Bytes aead_encrypt_with_nonce(BytesView key, BytesView nonce,
   if (nonce.size() != kNonceSize) {
     throw std::invalid_argument("aead: nonce must be 12 bytes");
   }
-  Bytes enc_key, mac_key;
-  derive_keys(key, enc_key, mac_key);
-  Bytes ct = chacha20(enc_key, nonce, 1, plaintext);
-  Bytes tag = hash::hmac_sha256(mac_key, mac_input(nonce, ct, aad));
+  const DerivedKeys& dk = derived_for(key);
+  Bytes ct = chacha20(dk.enc_key, nonce, 1, plaintext);
+  Bytes tag = aead_tag(dk.mac, nonce, ct, aad);
   Bytes out;
   append(out, nonce);
   append(out, ct);
   append(out, tag);
-  secure_wipe(enc_key);
-  secure_wipe(mac_key);
   return out;
 }
 
@@ -66,17 +85,10 @@ Bytes aead_decrypt(BytesView key, BytesView box, BytesView aad) {
   BytesView nonce = box.subspan(0, kNonceSize);
   BytesView ct = box.subspan(kNonceSize, box.size() - kNonceSize - kTagSize);
   BytesView tag = box.subspan(box.size() - kTagSize);
-  Bytes enc_key, mac_key;
-  derive_keys(key, enc_key, mac_key);
-  Bytes expected = hash::hmac_sha256(mac_key, mac_input(nonce, ct, aad));
-  if (!ct_equal(expected, tag)) {
-    secure_wipe(enc_key);
-    secure_wipe(mac_key);
-    throw AuthError();
-  }
-  Bytes pt = chacha20(enc_key, nonce, 1, ct);
-  secure_wipe(enc_key);
-  secure_wipe(mac_key);
+  const DerivedKeys& dk = derived_for(key);
+  Bytes expected = aead_tag(dk.mac, nonce, ct, aad);
+  if (!ct_equal(expected, tag)) throw AuthError();
+  Bytes pt = chacha20(dk.enc_key, nonce, 1, ct);
   return pt;
 }
 

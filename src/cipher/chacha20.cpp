@@ -3,6 +3,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "src/cipher/chacha20_simd.h"
+#include "src/mp/dispatch.h"
+
 namespace hcpp::cipher {
 
 namespace {
@@ -29,12 +32,10 @@ inline uint32_t load32le(const uint8_t* p) noexcept {
          (static_cast<uint32_t>(p[3]) << 24);
 }
 
-}  // namespace
-
-void chacha20_block(const std::array<uint8_t, kChaChaKeySize>& key,
-                    const std::array<uint8_t, kChaChaNonceSize>& nonce,
-                    uint32_t counter, std::array<uint8_t, 64>& out) noexcept {
-  uint32_t state[16];
+inline void init_state(uint32_t state[16],
+                       const std::array<uint8_t, kChaChaKeySize>& key,
+                       const std::array<uint8_t, kChaChaNonceSize>& nonce,
+                       uint32_t counter) noexcept {
   state[0] = 0x61707865;
   state[1] = 0x3320646e;
   state[2] = 0x79622d32;
@@ -42,6 +43,22 @@ void chacha20_block(const std::array<uint8_t, kChaChaKeySize>& key,
   for (int i = 0; i < 8; ++i) state[4 + i] = load32le(key.data() + 4 * i);
   state[12] = counter;
   for (int i = 0; i < 3; ++i) state[13 + i] = load32le(nonce.data() + 4 * i);
+}
+
+// Whether bulk spans go to the 4-block AVX2 kernel. Checked per call (two
+// cached loads), so HCPP_FORCE_GENERIC toggles take effect immediately.
+inline bool use_avx2() noexcept {
+  return simd::avx2_compiled() && mp::cpu_features().avx2 &&
+         !mp::force_generic();
+}
+
+}  // namespace
+
+void chacha20_block(const std::array<uint8_t, kChaChaKeySize>& key,
+                    const std::array<uint8_t, kChaChaNonceSize>& nonce,
+                    uint32_t counter, std::array<uint8_t, 64>& out) noexcept {
+  uint32_t state[16];
+  init_state(state, key, nonce, counter);
 
   uint32_t x[16];
   std::memcpy(x, state, sizeof(x));
@@ -67,14 +84,51 @@ void chacha20_block(const std::array<uint8_t, kChaChaKeySize>& key,
 void chacha20_xor(const std::array<uint8_t, kChaChaKeySize>& key,
                   const std::array<uint8_t, kChaChaNonceSize>& nonce,
                   uint32_t counter, std::span<uint8_t> data) noexcept {
-  std::array<uint8_t, 64> block;
   size_t offset = 0;
+  if (data.size() - offset >= 256 && use_avx2()) {
+    uint32_t state[16];
+    init_state(state, key, nonce, counter);
+    do {
+      state[12] = counter;
+      simd::chacha20_xor4_avx2(state, data.data() + offset);
+      counter += 4;  // 32-bit wrap, same as four scalar counter++
+      offset += 256;
+    } while (data.size() - offset >= 256);
+  }
+  std::array<uint8_t, 64> block;
   while (offset < data.size()) {
     chacha20_block(key, nonce, counter++, block);
     size_t take = std::min<size_t>(64, data.size() - offset);
     for (size_t i = 0; i < take; ++i) data[offset + i] ^= block[i];
     offset += take;
   }
+}
+
+void chacha20_keystream(const std::array<uint8_t, kChaChaKeySize>& key,
+                        const std::array<uint8_t, kChaChaNonceSize>& nonce,
+                        uint32_t counter, std::span<uint8_t> out) noexcept {
+  size_t offset = 0;
+  if (out.size() - offset >= 256 && use_avx2()) {
+    uint32_t state[16];
+    init_state(state, key, nonce, counter);
+    do {
+      state[12] = counter;
+      simd::chacha20_blocks4_avx2(state, out.data() + offset);
+      counter += 4;
+      offset += 256;
+    } while (out.size() - offset >= 256);
+  }
+  std::array<uint8_t, 64> block;
+  while (offset < out.size()) {
+    chacha20_block(key, nonce, counter++, block);
+    size_t take = std::min<size_t>(64, out.size() - offset);
+    std::memcpy(out.data() + offset, block.data(), take);
+    offset += take;
+  }
+}
+
+const char* chacha20_kernel_name() noexcept {
+  return use_avx2() ? "avx2" : "generic";
 }
 
 Bytes chacha20(BytesView key, BytesView nonce, uint32_t counter,

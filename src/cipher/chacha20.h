@@ -27,4 +27,16 @@ void chacha20_block(const std::array<uint8_t, kChaChaKeySize>& key,
                     const std::array<uint8_t, kChaChaNonceSize>& nonce,
                     uint32_t counter, std::array<uint8_t, 64>& out) noexcept;
 
+/// Writes out.size() bytes of raw keystream starting at block `counter`.
+/// Dispatches 256-byte spans to the 4-block AVX2 kernel when available;
+/// the DRBG refill path.
+void chacha20_keystream(const std::array<uint8_t, kChaChaKeySize>& key,
+                        const std::array<uint8_t, kChaChaNonceSize>& nonce,
+                        uint32_t counter, std::span<uint8_t> out) noexcept;
+
+/// The keystream kernel variant chacha20_xor dispatches bulk spans to on
+/// this host right now: "avx2" or "generic" (scalar RFC 8439 core).
+/// Benchmarks record this in their JSON context.
+[[nodiscard]] const char* chacha20_kernel_name() noexcept;
+
 }  // namespace hcpp::cipher

@@ -1,0 +1,153 @@
+#include "src/cipher/chacha20_simd.h"
+
+#include <cstdlib>
+
+#if defined(__x86_64__) && defined(__AVX2__)
+#define HCPP_HAVE_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace hcpp::cipher::simd {
+
+#ifdef HCPP_HAVE_AVX2
+
+namespace {
+
+// Four blocks are processed as two block-pairs. Each __m256i holds one
+// 4-word ChaCha row for two blocks — the row of block b in the low 128-bit
+// lane and of block b+1 in the high lane — so the column quarter-rounds are
+// plain vertical SIMD ops and the diagonalisation is a per-lane word rotate
+// (_mm256_shuffle_epi32 shuffles within each lane independently).
+
+inline __m256i rotl(__m256i x, int n) noexcept {
+  return _mm256_or_si256(_mm256_slli_epi32(x, n),
+                         _mm256_srli_epi32(x, 32 - n));
+}
+
+// One double round (column + diagonal) on a block-pair (v0..v3 = rows 0..3).
+inline void double_round(__m256i& v0, __m256i& v1, __m256i& v2,
+                         __m256i& v3) noexcept {
+  // Column round.
+  v0 = _mm256_add_epi32(v0, v1);
+  v3 = rotl(_mm256_xor_si256(v3, v0), 16);
+  v2 = _mm256_add_epi32(v2, v3);
+  v1 = rotl(_mm256_xor_si256(v1, v2), 12);
+  v0 = _mm256_add_epi32(v0, v1);
+  v3 = rotl(_mm256_xor_si256(v3, v0), 8);
+  v2 = _mm256_add_epi32(v2, v3);
+  v1 = rotl(_mm256_xor_si256(v1, v2), 7);
+  // Diagonalise: rotate row 1 left by one word, row 2 by two, row 3 by three
+  // (within each lane), run the same column round, rotate back.
+  v1 = _mm256_shuffle_epi32(v1, _MM_SHUFFLE(0, 3, 2, 1));
+  v2 = _mm256_shuffle_epi32(v2, _MM_SHUFFLE(1, 0, 3, 2));
+  v3 = _mm256_shuffle_epi32(v3, _MM_SHUFFLE(2, 1, 0, 3));
+  v0 = _mm256_add_epi32(v0, v1);
+  v3 = rotl(_mm256_xor_si256(v3, v0), 16);
+  v2 = _mm256_add_epi32(v2, v3);
+  v1 = rotl(_mm256_xor_si256(v1, v2), 12);
+  v0 = _mm256_add_epi32(v0, v1);
+  v3 = rotl(_mm256_xor_si256(v3, v0), 8);
+  v2 = _mm256_add_epi32(v2, v3);
+  v1 = rotl(_mm256_xor_si256(v1, v2), 7);
+  v1 = _mm256_shuffle_epi32(v1, _MM_SHUFFLE(2, 1, 0, 3));
+  v2 = _mm256_shuffle_epi32(v2, _MM_SHUFFLE(1, 0, 3, 2));
+  v3 = _mm256_shuffle_epi32(v3, _MM_SHUFFLE(0, 3, 2, 1));
+}
+
+// Computes the four 64-byte keystream blocks for counters c..c+3 (32-bit
+// wraparound, c = state[12]) into ks[8] as block-pair row vectors:
+// ks[0..3] = rows 0..3 of blocks (c, c+1), ks[4..7] = rows of (c+2, c+3).
+inline void keystream4(const uint32_t state[16], __m256i ks[8]) noexcept {
+  const __m128i row0 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 0));
+  const __m128i row1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));
+  const __m128i row2 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 8));
+  const __m128i row3 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 12));
+  // Per-block counters c+0..c+3 in 32-bit arithmetic (wraps exactly like the
+  // scalar loop's counter++).
+  __m128i rows3[4];
+  for (uint32_t i = 0; i < 4; ++i) {
+    rows3[i] = _mm_insert_epi32(row3, static_cast<int>(state[12] + i), 0);
+  }
+  const __m256i s0 = _mm256_broadcastsi128_si256(row0);
+  const __m256i s1 = _mm256_broadcastsi128_si256(row1);
+  const __m256i s2 = _mm256_broadcastsi128_si256(row2);
+  const __m256i s3a = _mm256_set_m128i(rows3[1], rows3[0]);
+  const __m256i s3b = _mm256_set_m128i(rows3[3], rows3[2]);
+
+  __m256i a0 = s0, a1 = s1, a2 = s2, a3 = s3a;
+  __m256i b0 = s0, b1 = s1, b2 = s2, b3 = s3b;
+  for (int round = 0; round < 10; ++round) {
+    double_round(a0, a1, a2, a3);
+    double_round(b0, b1, b2, b3);
+  }
+  ks[0] = _mm256_add_epi32(a0, s0);
+  ks[1] = _mm256_add_epi32(a1, s1);
+  ks[2] = _mm256_add_epi32(a2, s2);
+  ks[3] = _mm256_add_epi32(a3, s3a);
+  ks[4] = _mm256_add_epi32(b0, s0);
+  ks[5] = _mm256_add_epi32(b1, s1);
+  ks[6] = _mm256_add_epi32(b2, s2);
+  ks[7] = _mm256_add_epi32(b3, s3b);
+}
+
+// Reorders a block-pair's row vectors into the serial block layout:
+// out[0] = bytes 0..31 of the pair's first block (rows 0,1 low lanes),
+// out[1] = bytes 32..63, out[2]/out[3] = the same for the second block.
+inline void transpose_pair(const __m256i rows[4], __m256i out[4]) noexcept {
+  out[0] = _mm256_permute2x128_si256(rows[0], rows[1], 0x20);
+  out[1] = _mm256_permute2x128_si256(rows[2], rows[3], 0x20);
+  out[2] = _mm256_permute2x128_si256(rows[0], rows[1], 0x31);
+  out[3] = _mm256_permute2x128_si256(rows[2], rows[3], 0x31);
+}
+
+}  // namespace
+
+bool avx2_compiled() noexcept { return true; }
+
+void chacha20_xor4_avx2(const uint32_t state[16], uint8_t* data) noexcept {
+  __m256i ks[8];
+  keystream4(state, ks);
+  __m256i serial[4];
+  for (int pair = 0; pair < 2; ++pair) {
+    transpose_pair(ks + 4 * pair, serial);
+    uint8_t* p = data + 128 * pair;
+    for (int i = 0; i < 4; ++i) {
+      __m256i* dst = reinterpret_cast<__m256i*>(p + 32 * i);
+      _mm256_storeu_si256(
+          dst, _mm256_xor_si256(_mm256_loadu_si256(dst), serial[i]));
+    }
+  }
+}
+
+void chacha20_blocks4_avx2(const uint32_t state[16], uint8_t* out) noexcept {
+  __m256i ks[8];
+  keystream4(state, ks);
+  __m256i serial[4];
+  for (int pair = 0; pair < 2; ++pair) {
+    transpose_pair(ks + 4 * pair, serial);
+    uint8_t* p = out + 128 * pair;
+    for (int i = 0; i < 4; ++i) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(p + 32 * i), serial[i]);
+    }
+  }
+}
+
+#else  // !HCPP_HAVE_AVX2
+
+// Built without AVX2: avx2_compiled() says so and the kernels are traps —
+// the dispatchers never select this path when avx2_compiled() is false.
+bool avx2_compiled() noexcept { return false; }
+
+void chacha20_xor4_avx2(const uint32_t*, uint8_t*) noexcept { std::abort(); }
+
+void chacha20_blocks4_avx2(const uint32_t*, uint8_t*) noexcept {
+  std::abort();
+}
+
+#endif  // HCPP_HAVE_AVX2
+
+}  // namespace hcpp::cipher::simd

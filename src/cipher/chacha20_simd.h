@@ -1,0 +1,24 @@
+#pragma once
+// 4-block AVX2 ChaCha20 kernel interface. The implementation TU
+// (chacha20_avx2.cpp) is compiled with -mavx2 (see src/CMakeLists.txt) and
+// only entered after mp::cpu_features().avx2 confirms the extension at
+// runtime. Both entry points take the fully initialised 16-word RFC 8439
+// state (constants, key, counter at word 12, nonce) and process blocks
+// counter, counter+1, counter+2, counter+3 with 32-bit counter wraparound —
+// byte-identical to four calls of the scalar chacha20_block.
+
+#include <cstdint>
+
+namespace hcpp::cipher::simd {
+
+/// True when this TU carries real AVX2 code (callers must still check the
+/// runtime CPU flag before dispatching here).
+bool avx2_compiled() noexcept;
+
+/// XORs 256 bytes of keystream into `data` in place.
+void chacha20_xor4_avx2(const uint32_t state[16], uint8_t* data) noexcept;
+
+/// Writes 256 bytes of raw keystream to `out` (DRBG refill path).
+void chacha20_blocks4_avx2(const uint32_t state[16], uint8_t* out) noexcept;
+
+}  // namespace hcpp::cipher::simd

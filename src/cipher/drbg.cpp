@@ -1,5 +1,6 @@
 #include "src/cipher/drbg.h"
 
+#include <cstring>
 #include <random>
 
 #include "src/cipher/chacha20.h"
@@ -25,8 +26,16 @@ Drbg Drbg::system() {
   return Drbg(seed);
 }
 
-void Drbg::next_block() {
-  chacha20_block(key_, nonce_, counter_++, block_);
+void Drbg::refill() {
+  // Generate up to four blocks in one keystream call, but never across the
+  // 32-bit counter wrap: the key ratchet below must happen at exactly the
+  // same stream position as the old one-block generator.
+  uint64_t until_wrap = 0x100000000ull - counter_;
+  size_t nblocks = static_cast<size_t>(std::min<uint64_t>(4, until_wrap));
+  chacha20_keystream(key_, nonce_, counter_,
+                     std::span<uint8_t>(block_.data(), 64 * nblocks));
+  counter_ += static_cast<uint32_t>(nblocks);  // wraps to 0 at the boundary
+  block_fill_ = 64 * nblocks;
   block_pos_ = 0;
   if (counter_ == 0) {
     // 256 GiB of output consumed: ratchet the key to a fresh stream.
@@ -36,9 +45,13 @@ void Drbg::next_block() {
 }
 
 void Drbg::fill(std::span<uint8_t> out) {
-  for (size_t i = 0; i < out.size(); ++i) {
-    if (block_pos_ == 64) next_block();
-    out[i] = block_[block_pos_++];
+  size_t done = 0;
+  while (done < out.size()) {
+    if (block_pos_ == block_fill_) refill();
+    size_t take = std::min(out.size() - done, block_fill_ - block_pos_);
+    std::memcpy(out.data() + done, block_.data() + block_pos_, take);
+    block_pos_ += take;
+    done += take;
   }
 }
 
@@ -48,7 +61,8 @@ void Drbg::reseed(BytesView entropy) {
   hash::Digest d = hash::sha256(material);
   std::copy(d.begin(), d.end(), key_.begin());
   counter_ = 0;
-  block_pos_ = 64;
+  block_fill_ = 0;
+  block_pos_ = 0;
 }
 
 }  // namespace hcpp::cipher

@@ -26,13 +26,18 @@ class Drbg final : public RandomSource {
   void reseed(BytesView entropy);
 
  private:
-  void next_block();
+  void refill();
 
   std::array<uint8_t, 32> key_{};
   std::array<uint8_t, 12> nonce_{};
   uint32_t counter_ = 0;
-  std::array<uint8_t, 64> block_{};
-  size_t block_pos_ = 64;  // forces generation on first use
+  // Up to four keystream blocks are generated per refill (the 4-block AVX2
+  // kernel's granularity); the stream of bytes produced is identical to the
+  // old one-block-at-a-time generator, including the key-ratchet timing at
+  // the 32-bit counter wrap.
+  std::array<uint8_t, 256> block_{};
+  size_t block_fill_ = 0;  // valid bytes in block_
+  size_t block_pos_ = 0;   // consumed bytes; == block_fill_ forces a refill
 };
 
 }  // namespace hcpp::cipher

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <optional>
 
+#include "src/core/coalesce.h"
 #include "src/par/pool.h"
 
 namespace hcpp::core {
@@ -82,24 +83,29 @@ AuditReport audit(const ibc::PublicParams& pub, const std::string& aserver_id,
                   par::ThreadPool* pool) {
   AuditReport report;
 
-  // Round 1: every RD carries an A-server signature — one shared identity,
-  // so the batch computes ê(H1(A), Ppub) once for all of them.
-  std::vector<ibc::IbsBatchItem> rd_items;
+  // Both verification rounds share one PairingCoalescer: the drains fuse
+  // each signature's two pairings into a single Miller product and batch
+  // the final exponentiations (one modular inversion per round), and the
+  // Ppub line table carries over from round 1 to round 2. H1(ID) hashing is
+  // cached per identity inside each drain — round 1's single shared
+  // A-server identity hashes exactly once.
+  PairingCoalescer verifier(pub);
+
+  // Round 1: every RD carries an A-server signature.
   std::vector<size_t> rd_slot(records.size(), SIZE_MAX);
   for (size_t i = 0; i < records.size(); ++i) {
     std::optional<ibc::IbsBatchItem> item =
         rd_batch_item(pub, aserver_id, records[i]);
     if (item.has_value()) {
-      rd_slot[i] = rd_items.size();
-      rd_items.push_back(std::move(*item));
+      rd_slot[i] =
+          verifier.add_ibs_verify(item->id, item->message, item->sig);
     }
   }
-  std::vector<uint8_t> rd_ok = ibc::ibs_verify_batch(pub, rd_items, pool);
+  std::vector<uint8_t> rd_ok = verifier.drain(pool).ibs_ok;
 
   // Round 2: traces matched by a verified RD, keyed by trace pointer so a
   // trace referenced twice is only verified once.
   std::vector<const TraceRecord*> rd_match(records.size(), nullptr);
-  std::vector<ibc::IbsBatchItem> tr_items;
   std::vector<const TraceRecord*> tr_of_item;
   for (size_t i = 0; i < records.size(); ++i) {
     if (rd_slot[i] == SIZE_MAX || !rd_ok[rd_slot[i]]) continue;
@@ -110,12 +116,12 @@ AuditReport audit(const ibc::PublicParams& pub, const std::string& aserver_id,
         tr_of_item.end()) {
       std::optional<ibc::IbsBatchItem> item = trace_batch_item(pub, *match);
       if (item.has_value()) {
-        tr_items.push_back(std::move(*item));
+        verifier.add_ibs_verify(item->id, item->message, item->sig);
         tr_of_item.push_back(match);
       }
     }
   }
-  std::vector<uint8_t> tr_ok = ibc::ibs_verify_batch(pub, tr_items, pool);
+  std::vector<uint8_t> tr_ok = verifier.drain(pool).ibs_ok;
   auto trace_verified = [&](const TraceRecord* tr) {
     for (size_t j = 0; j < tr_of_item.size(); ++j) {
       if (tr_of_item[j] == tr) return tr_ok[j] != 0;

@@ -22,6 +22,7 @@
 #include "src/cipher/aead.h"
 #include "src/core/accountability.h"
 #include "src/core/cluster.h"
+#include "src/core/coalesce.h"
 #include "src/core/entities.h"
 #include "src/obs/trace.h"
 #include "src/sim/transport.h"
@@ -31,7 +32,7 @@ namespace hcpp::core {
 namespace {
 
 constexpr const char* kBeLabel = "emergency-be-request";
-constexpr const char* kPrivLabel = "emergency-privileged-retrieval";
+constexpr const char* kPrivLabel = kPrivilegedRetrieveLabel;
 constexpr const char* kAuthLabel = "emergency-auth";
 
 /// Messages 1–4 of the family-based approach, shared by Family and PDevice.
@@ -244,6 +245,45 @@ std::optional<AServer::EmergencyAuthOutcome> AServer::handle_emergency_auth(
   if (!ibc::ibs_verify(pub(), req.physician_id, req.body(), sig)) {
     return std::nullopt;
   }
+  return finish_emergency_auth(req);
+}
+
+std::vector<std::optional<AServer::EmergencyAuthOutcome>>
+AServer::handle_emergency_auth_batch(std::span<const EmergencyAuthRequest> reqs,
+                                     par::ThreadPool* pool) {
+  obs::Span span("aserver:emergency_auth_batch");
+  std::vector<std::optional<EmergencyAuthOutcome>> out(reqs.size());
+  if (reqs.empty()) return out;
+
+  // Freshness and signature decoding stay serial and in arrival order, so a
+  // duplicate inside the batch hits the replay cache exactly as it would
+  // have arriving one request later.
+  PairingCoalescer co(pub());
+  constexpr size_t kNone = static_cast<size_t>(-1);
+  std::vector<size_t> ticket(reqs.size(), kNone);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    const EmergencyAuthRequest& req = reqs[i];
+    if (!net_->accept_fresh(id_, req.sig, req.t, kFreshnessWindowNs)) continue;
+    try {
+      ibc::IbsSignature sig =
+          ibc::IbsSignature::from_bytes(domain_.ctx(), req.sig);
+      ticket[i] = co.add_ibs_verify(req.physician_id, req.body(), sig);
+    } catch (const std::exception&) {
+    }
+  }
+
+  // One drain: all verification pairings fused and final-exponentiated
+  // together (coalesce.h).
+  PairingCoalescer::Drained drained = co.drain(pool);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (ticket[i] == kNone || !drained.ibs_ok[ticket[i]]) continue;
+    out[i] = finish_emergency_auth(reqs[i]);
+  }
+  return out;
+}
+
+std::optional<AServer::EmergencyAuthOutcome> AServer::finish_emergency_auth(
+    const EmergencyAuthRequest& req) {
   if (!is_on_duty(req.physician_id)) return std::nullopt;
 
   curve::Point tp;

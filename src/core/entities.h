@@ -12,6 +12,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,10 @@
 
 namespace hcpp::sim {
 class OnionNetwork;
+}
+
+namespace hcpp::par {
+class ThreadPool;
 }
 
 namespace hcpp::core {
@@ -89,6 +94,17 @@ class AServer {
   std::optional<EmergencyAuthOutcome> handle_emergency_auth(
       const EmergencyAuthRequest& req);
 
+  /// Coalesced form for a burst of §IV.E.2 step-1 requests drained from one
+  /// queue: every physician IBS in the batch goes through a single
+  /// PairingCoalescer drain (fused Miller products, one batched final
+  /// exponentiation), instead of two full pairings per request. result[i]
+  /// is exactly what handle_emergency_auth(reqs[i]) would have returned had
+  /// the requests arrived one at a time in order (including replay-cache
+  /// effects between duplicates).
+  std::vector<std::optional<EmergencyAuthOutcome>> handle_emergency_auth_batch(
+      std::span<const EmergencyAuthRequest> reqs,
+      par::ThreadPool* pool = nullptr);
+
   /// MHI role-key extraction for an authenticated on-duty physician.
   std::optional<curve::Point> handle_role_key_request(
       const RoleKeyRequest& req);
@@ -109,6 +125,12 @@ class AServer {
   }
 
  private:
+  /// Steps shared by the single and batched handlers once the physician's
+  /// IBS has been verified: on-duty and pseudonym checks, passcode issuance,
+  /// TR trace append.
+  std::optional<EmergencyAuthOutcome> finish_emergency_auth(
+      const EmergencyAuthRequest& req);
+
   sim::Network* net_;
   std::string id_;
   ibc::Domain domain_;
@@ -157,6 +179,12 @@ class SServer {
 
   /// ν for a presented pseudonym: ê(Γ_S, TPp).
   [[nodiscard]] Bytes shared_key_for(BytesView tp_bytes) const;
+  /// The fixed-Γ_S precomputation behind shared_key_for, exposed so the
+  /// SEARCH front-end's batch path (SearchService::search_batch_privileged)
+  /// can queue its ν derivations on a cross-request PairingCoalescer.
+  [[nodiscard]] const ibc::SharedKeyDeriver& nu_deriver() const noexcept {
+    return nu_deriver_;
+  }
 
   /// Durable state: everything the hospital must retain across restarts
   /// (accounts and the MHI store — all ciphertext). Versioned format;

@@ -19,6 +19,13 @@ namespace hcpp::core {
 /// Freshness window for all protocol timestamps.
 inline constexpr uint64_t kFreshnessWindowNs = 120'000'000'000ull;  // 2 min
 
+/// MAC label of the §IV.E.1 privileged retrieval (messages 3–4) — shared by
+/// the live handler (emergency.cpp) and the batched SEARCH front-end
+/// (SearchService::search_batch_privileged), which must authenticate the
+/// same wire messages.
+inline constexpr const char* kPrivilegedRetrieveLabel =
+    "emergency-privileged-retrieval";
+
 /// MAC = HMAC_key(label ‖ body ‖ timestamp).
 Bytes protocol_mac(BytesView key, std::string_view label, BytesView body,
                    uint64_t timestamp_ns);

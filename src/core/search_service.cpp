@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "src/core/coalesce.h"
 #include "src/obs/trace.h"
 #include "src/par/pool.h"
 #include "src/sse/sse.h"
@@ -75,6 +76,88 @@ std::vector<SearchService::Result> SearchService::search_batch(
 
 SearchService::Result SearchService::search(const Query& query) const {
   return answer(*current(), query);
+}
+
+std::vector<std::optional<RetrieveResponse>>
+SearchService::search_batch_privileged(
+    const SServer& server,
+    std::span<const PrivilegedRetrieveRequest> reqs) const {
+  obs::Span span("sserver:search_batch_privileged");
+  std::vector<std::optional<RetrieveResponse>> out(reqs.size());
+  if (reqs.empty()) return out;
+  std::shared_ptr<const SnapshotMap> snap = current();
+  const curve::CurveCtx& ctx = *server.nu_deriver().ctx();
+  sim::Network& net = server.net();
+
+  // Stage 1: one coalescer drain derives every ν of the batch — requests
+  // presenting the same pseudonym share a single pairing. The subgroup
+  // guard mirrors SServer::shared_key_for.
+  PairingCoalescer co(ctx);
+  constexpr size_t kNone = static_cast<size_t>(-1);
+  std::vector<size_t> ticket(reqs.size(), kNone);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    try {
+      curve::Point tp = curve::point_from_bytes(ctx, reqs[i].tp);
+      if (!curve::in_prime_subgroup(ctx, tp)) continue;
+      ticket[i] = co.add_shared_key(server.nu_deriver(), tp);
+    } catch (const std::exception&) {
+      // malformed pseudonym point: rejected below
+    }
+  }
+  PairingCoalescer::Drained drained = co.drain(pool_);
+
+  // Stage 2: MAC and freshness in arrival order — the replay cache mutates,
+  // so a duplicate inside the batch is rejected exactly as if it had
+  // arrived one request later.
+  std::vector<uint8_t> accepted(reqs.size(), 0);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (ticket[i] == kNone) continue;
+    const PrivilegedRetrieveRequest& req = reqs[i];
+    const Bytes& nu = drained.shared_keys[ticket[i]];
+    if (!protocol_mac_ok(nu, kPrivilegedRetrieveLabel, req.body(), req.t,
+                         req.mac)) {
+      continue;
+    }
+    if (!net.accept_fresh(server.id(), req.mac, req.t, kFreshnessWindowNs)) {
+      continue;
+    }
+    accepted[i] = 1;
+  }
+
+  // Stage 3: answer the accepted queries from the snapshot, parallel over
+  // requests — const snapshot state only, like search_batch.
+  const uint64_t now = net.clock().now();
+  auto answer_one = [&](size_t i) {
+    if (!accepted[i]) return;
+    const PrivilegedRetrieveRequest& req = reqs[i];
+    auto it = snap->find(SServer::account_key(req.tp, req.collection));
+    if (it == snap->end()) return;
+    const AccountSnapshot& acct = it->second;
+    std::set<sse::FileId> matched;
+    std::vector<std::optional<sse::Trapdoor>> tds =
+        sse::unwrap_trapdoors(acct.d, req.wrapped_trapdoors);
+    for (const std::optional<sse::Trapdoor>& td : tds) {
+      if (!td.has_value()) continue;
+      for (sse::FileId id : sse::search(*acct.index, *td)) matched.insert(id);
+    }
+    RetrieveResponse resp;
+    for (sse::FileId id : matched) {
+      auto fit = acct.files->files.find(id);
+      if (fit != acct.files->files.end()) {
+        resp.files.emplace_back(id, fit->second);
+      }
+    }
+    resp.t = now;
+    resp.mac = protocol_mac(drained.shared_keys[ticket[i]],
+                            kPrivilegedRetrieveLabel, resp.body(), resp.t);
+    out[i] = std::move(resp);
+  };
+  if (pool_ == nullptr || reqs.size() <= 1) {
+    for (size_t i = 0; i < reqs.size(); ++i) answer_one(i);
+  } else {
+    pool_->parallel_for(reqs.size(), answer_one);
+  }
+  return out;
 }
 
 }  // namespace hcpp::core

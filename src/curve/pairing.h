@@ -31,6 +31,10 @@
 
 #include "src/curve/ec.h"
 
+namespace hcpp::par {
+class ThreadPool;
+}
+
 namespace hcpp::curve {
 
 /// Target-group element wrapper. Elements returned by `pairing` lie in the
@@ -84,6 +88,15 @@ class PairingPrecomp {
   /// ê(P_fixed, Q).
   [[nodiscard]] Gt pairing_with(const Point& q) const;
 
+  /// The Miller-loop value of ê(P_fixed, Q) *before* the final
+  /// exponentiation. Raising it with final_exp_batch (or multiplying several
+  /// such values first — FE is a group homomorphism) yields the same Gt as
+  /// pairing_with; the cross-request coalescer in core uses this to share
+  /// the per-pairing inversion across a whole drain. Returns 1 for a
+  /// trivial precomp or infinite Q (throws if default-constructed, like
+  /// pairing_with).
+  [[nodiscard]] field::Fp2 miller_with(const Point& q) const;
+
   /// True when default-constructed or built from the point at infinity
   /// (every pairing_with then returns Gt::one).
   [[nodiscard]] bool trivial() const noexcept {
@@ -106,6 +119,17 @@ using PairingTerm = std::pair<Point, Point>;
 /// one final exponentiation. Infinity terms contribute 1. For a factor
 /// ê(P, Q)^{-1} pass {negate(P), Q}.
 Gt pairing_product(const CurveCtx& ctx, std::span<const PairingTerm> terms);
+
+/// Applies the final exponentiation f^((p²−1)/q) to every Miller value in
+/// `fs` at the cost of ONE modular inversion for the whole batch: each
+/// f^(p−1) = conj(f)·f^{−1} = conj(f)²·norm(f)^{−1} needs only the inverse
+/// of the F_p norm re²+im², and those are batch-inverted with Montgomery's
+/// trick. The cofactor powers (the bulk of the work) are sharded onto
+/// `pool` when given (nullptr = serial). Element i of the result equals
+/// final exponentiation of fs[i] exactly.
+std::vector<Gt> final_exp_batch(const CurveCtx& ctx,
+                                std::span<const field::Fp2> fs,
+                                par::ThreadPool* pool = nullptr);
 
 /// Per-context PairingPrecomp for the group generator, built lazily and
 /// cached on the CurveCtx (thread-safe). Every protocol pairing with P as

@@ -30,6 +30,16 @@ Digest HmacKey::eval_digest(BytesView message) const {
   return out.finish();
 }
 
+Digest HmacKey::eval_digest_parts(
+    std::initializer_list<BytesView> parts) const {
+  Sha256 in = inner_;
+  for (BytesView part : parts) in.update(part);
+  Digest inner_d = in.finish();
+  Sha256 out = outer_;
+  out.update(BytesView(inner_d.data(), inner_d.size()));
+  return out.finish();
+}
+
 Bytes HmacKey::eval(BytesView message) const {
   Digest d = eval_digest(message);
   return Bytes(d.begin(), d.end());

@@ -2,6 +2,8 @@
 // and the round function for the HMAC-based PRFs/PRPs.
 #pragma once
 
+#include <initializer_list>
+
 #include "src/common/bytes.h"
 #include "src/hash/sha256.h"
 
@@ -23,6 +25,11 @@ class HmacKey {
   /// Truncated tag (`out_len` <= 32).
   [[nodiscard]] Bytes eval_trunc(BytesView message, size_t out_len) const;
   [[nodiscard]] Digest eval_digest(BytesView message) const;
+  /// Tag over the concatenation of `parts`, streamed into the compression
+  /// function — identical to eval() on the joined buffer, without building
+  /// it. For the AEAD's framed mac input (len ‖ aad ‖ nonce ‖ ciphertext).
+  [[nodiscard]] Digest eval_digest_parts(
+      std::initializer_list<BytesView> parts) const;
 
  private:
   Sha256 inner_;  // state after update(ipad)

@@ -77,6 +77,7 @@ void Sha256::compress(const uint8_t* block) noexcept {
 }
 
 void Sha256::update(BytesView data) noexcept {
+  if (data.empty()) return;  // an empty view may carry a null data()
   total_len_ += data.size();
   size_t offset = 0;
   if (buffer_len_ != 0) {

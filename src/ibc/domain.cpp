@@ -48,23 +48,21 @@ bool pseudonym_valid(const PublicParams& pub, const Domain::Pseudonym& pn) {
   return curve::pairing_product(ctx, terms).is_one();
 }
 
-namespace {
-Bytes kdf_from_gt(const curve::Gt& g) {
+Bytes shared_key_kdf(const curve::Gt& g) {
   return hash::hkdf(g.to_bytes(), {}, to_bytes("hcpp-shared-key"), 32);
 }
-}  // namespace
 
 Bytes shared_key_with_id(const curve::CurveCtx& ctx,
                          const curve::Point& my_private,
                          std::string_view peer_id) {
   curve::Point peer_pk = Domain::public_key(ctx, peer_id);
-  return kdf_from_gt(curve::pairing(ctx, my_private, peer_pk));
+  return shared_key_kdf(curve::pairing(ctx, my_private, peer_pk));
 }
 
 Bytes shared_key_with_point(const curve::CurveCtx& ctx,
                             const curve::Point& my_private,
                             const curve::Point& peer_public) {
-  return kdf_from_gt(curve::pairing(ctx, my_private, peer_public));
+  return shared_key_kdf(curve::pairing(ctx, my_private, peer_public));
 }
 
 SharedKeyDeriver::SharedKeyDeriver(const curve::CurveCtx& ctx,
@@ -76,7 +74,7 @@ Bytes SharedKeyDeriver::with_id(std::string_view peer_id) const {
 }
 
 Bytes SharedKeyDeriver::with_point(const curve::Point& peer_public) const {
-  return kdf_from_gt(pre_.pairing_with(peer_public));
+  return shared_key_kdf(pre_.pairing_with(peer_public));
 }
 
 }  // namespace hcpp::ibc

@@ -7,12 +7,17 @@
 
 namespace hcpp::ibc {
 
-namespace {
-mp::U512 challenge(const curve::CurveCtx& ctx, BytesView message,
-                   const curve::Gt& u) {
+mp::U512 ibs_challenge(const curve::CurveCtx& ctx, BytesView message,
+                       const curve::Gt& u) {
   Bytes input = u.to_bytes();
   append(input, message);
   return curve::hash_to_scalar(ctx, input, "hcpp-ibs-h3");
+}
+
+namespace {
+mp::U512 challenge(const curve::CurveCtx& ctx, BytesView message,
+                   const curve::Gt& u) {
+  return ibs_challenge(ctx, message, u);
 }
 }  // namespace
 

@@ -30,6 +30,12 @@ IbsSignature ibs_sign(const curve::CurveCtx& ctx,
                       const curve::Point& private_key, std::string_view id,
                       BytesView message, RandomSource& rng);
 
+/// The challenge hash H3(m ‖ u) both sign and verify compute. Exposed so the
+/// cross-request coalescer (core::PairingCoalescer) can finish verifications
+/// whose pairing work was batched; must stay in lock-step with ibs_sign.
+mp::U512 ibs_challenge(const curve::CurveCtx& ctx, BytesView message,
+                       const curve::Gt& u);
+
 bool ibs_verify(const PublicParams& pub, std::string_view id,
                 BytesView message, const IbsSignature& sig);
 

@@ -1,0 +1,63 @@
+#include "src/mp/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define HCPP_DISPATCH_X86_64 1
+#endif
+
+namespace hcpp::mp {
+
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+#ifdef HCPP_DISPATCH_X86_64
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_max(0, nullptr) >= 7) {
+    __cpuid_count(7, 0, eax, ebx, ecx, edx);
+    f.bmi2 = (ebx & bit_BMI2) != 0;
+    f.adx = (ebx & bit_ADX) != 0;
+    f.avx2 = (ebx & bit_AVX2) != 0;
+    // AVX2 additionally needs OS support for YMM state (XCR0 bits 1..2).
+    if (f.avx2) {
+      unsigned a1 = 0, b1 = 0, c1 = 0, d1 = 0;
+      __cpuid(1, a1, b1, c1, d1);
+      bool osxsave = (c1 & bit_OSXSAVE) != 0;
+      if (!osxsave) {
+        f.avx2 = false;
+      } else {
+        unsigned lo, hi;
+        __asm__("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
+        if ((lo & 0x6) != 0x6) f.avx2 = false;
+      }
+    }
+  }
+#endif
+  return f;
+}
+
+bool read_force_generic_env() {
+  const char* v = std::getenv("HCPP_FORCE_GENERIC");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+std::atomic<bool> g_force_generic{read_force_generic_env()};
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+bool force_generic() { return g_force_generic.load(std::memory_order_relaxed); }
+
+void refresh_dispatch() {
+  g_force_generic.store(read_force_generic_env(), std::memory_order_relaxed);
+}
+
+}  // namespace hcpp::mp

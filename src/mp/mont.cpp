@@ -3,11 +3,23 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/mp/dispatch.h"
+#include "src/mp/mont_mulx.h"
+
 namespace hcpp::mp {
 
 using uint128 = unsigned __int128;
 
 namespace {
+
+// Whether the fixed-width MULX/ADX kernels are usable on this host. Sampled
+// once per MontCtx construction so a context keeps one kernel for its whole
+// lifetime (HCPP_FORCE_GENERIC toggles only affect contexts built after a
+// refresh_dispatch()).
+bool mulx_available() noexcept {
+  return mulx::compiled() && cpu_features().bmi2 && cpu_features().adx &&
+         !force_generic();
+}
 
 // -m^{-1} mod 2^64 via Newton iteration (m odd).
 uint64_t neg_inv64(uint64_t m) noexcept {
@@ -213,8 +225,8 @@ void fp2_mul_impl(uint64_t* c_re, uint64_t* c_im, const uint64_t* ar,
   uint64_t t2[kWide];
   mul_wide_n<NF>(t0, ar, br, n);
   mul_wide_n<NF>(t1, ai, bi, n);
-  uint64_t s1[kLimbs];
-  uint64_t s2[kLimbs];
+  uint64_t s1[kLimbs] = {0};
+  uint64_t s2[kLimbs] = {0};
   uint64_t c1 = add_n(s1, ar, ai, n);
   uint64_t c2 = add_n(s2, br, bi, n);
   mul_wide_sum<NF>(t2, s1, c1, s2, c2, n);
@@ -235,8 +247,8 @@ void fp2_sqr_impl(uint64_t* c_re, uint64_t* c_im, const uint64_t* ar,
                   const uint64_t* ai, const uint64_t* m, uint64_t n0inv,
                   size_t n_rt) noexcept {
   const size_t n = width<NF>(n_rt);
-  uint64_t s1[kLimbs];
-  uint64_t s2[kLimbs];
+  uint64_t s1[kLimbs] = {0};
+  uint64_t s2[kLimbs] = {0};
   uint64_t diff[kLimbs];
   uint64_t c1 = add_n(s1, ar, ai, n);
   sub_n(diff, m, ai, n);  // m − a_im ∈ (0, m], no borrow
@@ -264,6 +276,7 @@ MontCtx::MontCtx(const U512& modulus) : m_(modulus) {
   }
   n_ = (m_.bit_length() + 63) / 64;
   n0inv_ = neg_inv64(m_.w[0]);
+  mulx_ = (n_ == 4 || n_ == 8) && mulx_available();
   // R mod m with R = 2^{64n}: take (R − 1) mod m (all-ones over the active
   // limbs) then add 1 (mod m).
   U512 r_minus1;
@@ -301,10 +314,22 @@ U512 MontCtx::mul(const U512& a, const U512& b) const noexcept {
   U512 r;
   switch (n_) {
     case 4:
-      cios_mul<4>(r.w.data(), a.w.data(), b.w.data(), m_.w.data(), n0inv_, 4);
+      if (mulx_) {
+        mulx::cios_mul4(r.w.data(), a.w.data(), b.w.data(), m_.w.data(),
+                        n0inv_);
+      } else {
+        cios_mul<4>(r.w.data(), a.w.data(), b.w.data(), m_.w.data(), n0inv_,
+                    4);
+      }
       break;
     case 8:
-      cios_mul<8>(r.w.data(), a.w.data(), b.w.data(), m_.w.data(), n0inv_, 8);
+      if (mulx_) {
+        mulx::cios_mul8(r.w.data(), a.w.data(), b.w.data(), m_.w.data(),
+                        n0inv_);
+      } else {
+        cios_mul<8>(r.w.data(), a.w.data(), b.w.data(), m_.w.data(), n0inv_,
+                    8);
+      }
       break;
     default:
       cios_mul<0>(r.w.data(), a.w.data(), b.w.data(), m_.w.data(), n0inv_,
@@ -387,14 +412,26 @@ void MontCtx::fp2_mul(U512& c_re, U512& c_im, const U512& a_re,
   U512 re, im;  // locals: the outputs may alias the inputs
   switch (n_) {
     case 4:
-      fp2_mul_impl<4>(re.w.data(), im.w.data(), a_re.w.data(), a_im.w.data(),
-                      b_re.w.data(), b_im.w.data(), m_.w.data(), n0inv_,
-                      mm2_.data(), 4);
+      if (mulx_) {
+        mulx::fp2_mul4(re.w.data(), im.w.data(), a_re.w.data(), a_im.w.data(),
+                       b_re.w.data(), b_im.w.data(), m_.w.data(), n0inv_,
+                       mm2_.data());
+      } else {
+        fp2_mul_impl<4>(re.w.data(), im.w.data(), a_re.w.data(),
+                        a_im.w.data(), b_re.w.data(), b_im.w.data(),
+                        m_.w.data(), n0inv_, mm2_.data(), 4);
+      }
       break;
     case 8:
-      fp2_mul_impl<8>(re.w.data(), im.w.data(), a_re.w.data(), a_im.w.data(),
-                      b_re.w.data(), b_im.w.data(), m_.w.data(), n0inv_,
-                      mm2_.data(), 8);
+      if (mulx_) {
+        mulx::fp2_mul8(re.w.data(), im.w.data(), a_re.w.data(), a_im.w.data(),
+                       b_re.w.data(), b_im.w.data(), m_.w.data(), n0inv_,
+                       mm2_.data());
+      } else {
+        fp2_mul_impl<8>(re.w.data(), im.w.data(), a_re.w.data(),
+                        a_im.w.data(), b_re.w.data(), b_im.w.data(),
+                        m_.w.data(), n0inv_, mm2_.data(), 8);
+      }
       break;
     default:
       fp2_mul_impl<0>(re.w.data(), im.w.data(), a_re.w.data(), a_im.w.data(),
@@ -411,12 +448,22 @@ void MontCtx::fp2_sqr(U512& c_re, U512& c_im, const U512& a_re,
   U512 re, im;
   switch (n_) {
     case 4:
-      fp2_sqr_impl<4>(re.w.data(), im.w.data(), a_re.w.data(), a_im.w.data(),
-                      m_.w.data(), n0inv_, 4);
+      if (mulx_) {
+        mulx::fp2_sqr4(re.w.data(), im.w.data(), a_re.w.data(), a_im.w.data(),
+                       m_.w.data(), n0inv_);
+      } else {
+        fp2_sqr_impl<4>(re.w.data(), im.w.data(), a_re.w.data(),
+                        a_im.w.data(), m_.w.data(), n0inv_, 4);
+      }
       break;
     case 8:
-      fp2_sqr_impl<8>(re.w.data(), im.w.data(), a_re.w.data(), a_im.w.data(),
-                      m_.w.data(), n0inv_, 8);
+      if (mulx_) {
+        mulx::fp2_sqr8(re.w.data(), im.w.data(), a_re.w.data(), a_im.w.data(),
+                       m_.w.data(), n0inv_);
+      } else {
+        fp2_sqr_impl<8>(re.w.data(), im.w.data(), a_re.w.data(),
+                        a_im.w.data(), m_.w.data(), n0inv_, 8);
+      }
       break;
     default:
       fp2_sqr_impl<0>(re.w.data(), im.w.data(), a_re.w.data(), a_im.w.data(),
@@ -425,6 +472,10 @@ void MontCtx::fp2_sqr(U512& c_re, U512& c_im, const U512& a_re,
   }
   c_re = re;
   c_im = im;
+}
+
+const char* mont_kernel_name() noexcept {
+  return mulx_available() ? "mulx-adx" : "generic";
 }
 
 }  // namespace hcpp::mp

@@ -23,6 +23,12 @@ class MontCtx {
   [[nodiscard]] const U512& one() const noexcept { return one_; }
   /// Active limb count n: R = 2^{64n} with n = ceil(bits(m)/64).
   [[nodiscard]] size_t limbs() const noexcept { return n_; }
+  /// Which multiply kernel this context dispatches to: "mulx-adx" when the
+  /// fixed-width BMI2/ADX path was selected at construction (CPU supports
+  /// both extensions and HCPP_FORCE_GENERIC is unset), "generic" otherwise.
+  [[nodiscard]] const char* kernel_name() const noexcept {
+    return mulx_ ? "mulx-adx" : "generic";
+  }
 
   /// a (plain, any value — reduced mod m first if needed) -> aR mod m.
   [[nodiscard]] U512 to_mont(const U512& a) const;
@@ -61,6 +67,7 @@ class MontCtx {
   U512 m_;
   size_t n_ = kLimbs;   // active limbs, R = 2^{64 n_}
   uint64_t n0inv_ = 0;  // -m^{-1} mod 2^64
+  bool mulx_ = false;   // fixed-width MULX/ADX kernels selected (n = 4 or 8)
   U512 r2_;             // R^2 mod m
   U512 r3_;             // R^3 mod m
   U512 one_;            // R mod m
@@ -70,5 +77,11 @@ class MontCtx {
   // extra limbs).
   std::array<uint64_t, 2 * kLimbs + 2> mm2_{};
 };
+
+/// The kernel variant a freshly constructed fixed-width (n = 4 or 8) MontCtx
+/// would dispatch to on this host right now: "mulx-adx" or "generic".
+/// Benchmarks record this in their JSON context so numbers are comparable
+/// across machines.
+[[nodiscard]] const char* mont_kernel_name() noexcept;
 
 }  // namespace hcpp::mp

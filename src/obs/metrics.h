@@ -50,8 +50,20 @@ inline constexpr const char* kPairingProduct = "crypto.pairing_product";
 inline constexpr const char* kPairingProductTerms =
     "crypto.pairing_product_terms";
 inline constexpr const char* kFinalExp = "crypto.final_exp";
+// Final exponentiations applied through final_exp_batch (each element of a
+// batch counts once; the batch shares a single modular inversion).
+inline constexpr const char* kFinalExpBatched = "crypto.final_exp_batched";
 inline constexpr const char* kPointMul = "crypto.point_mul";
 inline constexpr const char* kHashToPoint = "crypto.hash_to_point";
+
+// Cross-request pairing coalescer (core::PairingCoalescer): drains executed,
+// requests folded into drains, pairings avoided versus the one-at-a-time
+// path (dedup hits plus inversions shared by batched final exponentiation),
+// and cache hits from identical shared-key / identity-hash inputs.
+inline constexpr const char* kCoalesceDrains = "coalesce.drains";
+inline constexpr const char* kCoalesceRequests = "coalesce.requests";
+inline constexpr const char* kCoalescePairingsSaved = "coalesce.pairings_saved";
+inline constexpr const char* kCoalesceDedupHits = "coalesce.dedup_hits";
 
 // Network substrate (src/sim/network.cpp).
 inline constexpr const char* kNetMessages = "net.messages";

@@ -1,0 +1,26 @@
+// Prints the host's detected CPU features and the kernel variants the
+// library dispatches to, as one JSON object on stdout:
+//
+//   {"bmi2": true, "adx": true, "avx2": true, "force_generic": false,
+//    "mont_kernel": "mulx-adx", "chacha_kernel": "avx2"}
+//
+// tools/run_benchmarks.sh runs this and injects the result into the context
+// block of every BENCH_*.json, so throughput numbers are comparable across
+// machines. Honors HCPP_FORCE_GENERIC like the library itself.
+#include <cstdio>
+
+#include "src/cipher/chacha20.h"
+#include "src/mp/dispatch.h"
+#include "src/mp/mont.h"
+
+int main() {
+  const hcpp::mp::CpuFeatures& f = hcpp::mp::cpu_features();
+  std::printf(
+      "{\"bmi2\": %s, \"adx\": %s, \"avx2\": %s, \"force_generic\": %s, "
+      "\"mont_kernel\": \"%s\", \"chacha_kernel\": \"%s\"}\n",
+      f.bmi2 ? "true" : "false", f.adx ? "true" : "false",
+      f.avx2 ? "true" : "false",
+      hcpp::mp::force_generic() ? "true" : "false",
+      hcpp::mp::mont_kernel_name(), hcpp::cipher::chacha20_kernel_name());
+  return 0;
+}

@@ -29,6 +29,10 @@
 # field from the bench binary's NDEBUG — the thing actually measured.)
 # Fails fast: a missing binary after the build, or a bench exiting non-zero,
 # aborts the whole run rather than leaving stale report files behind.
+# Every report's context block additionally records the host's CPU feature
+# flags and the kernel variants the runtime dispatcher selected
+# (mont_kernel: generic|mulx-adx, chacha_kernel: generic|avx2), via the
+# hcpp_cpuinfo helper, so numbers are attributable to a kernel.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -48,7 +52,8 @@ esac
 cmake -B "$build_dir" -S "$repo_root" -DHCPP_BENCH=ON \
   -DCMAKE_BUILD_TYPE="$build_type"
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target bench_computation bench_protocols bench_throughput bench_ledger
+  --target bench_computation bench_protocols bench_throughput bench_ledger \
+           hcpp_cpuinfo
 
 for bin in bench_computation bench_protocols bench_throughput bench_ledger; do
   if [[ ! -x "$build_dir/bench/$bin" ]]; then
@@ -57,6 +62,30 @@ for bin in bench_computation bench_protocols bench_throughput bench_ledger; do
     exit 1
   fi
 done
+
+# CPU feature flags and the kernel variants the dispatcher selected on this
+# host (mont: generic|mulx-adx, chacha: generic|avx2). Injected into every
+# report's context below so numbers are attributable to a kernel.
+cpuinfo_json="$("$build_dir/tools/hcpp_cpuinfo")"
+echo "cpuinfo: $cpuinfo_json"
+
+# Adds {"cpu_features": {...}, "mont_kernel": ..., "chacha_kernel": ...} to
+# the "context" object of the report named in $1.
+inject_cpuinfo() {
+  python3 - "$1" "$cpuinfo_json" <<'EOF'
+import json, sys
+path, info = sys.argv[1], json.loads(sys.argv[2])
+with open(path) as f:
+    report = json.load(f)
+ctx = report.setdefault("context", {})
+ctx["cpu_features"] = {k: info[k] for k in ("bmi2", "adx", "avx2")}
+ctx["mont_kernel"] = info["mont_kernel"]
+ctx["chacha_kernel"] = info["chacha_kernel"]
+with open(path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+EOF
+}
 
 # bench_computation is a google-benchmark binary: native JSON report.
 "$build_dir/bench/bench_computation" \
@@ -77,6 +106,7 @@ if build != "release":
     sys.exit(f"error: benchmark report says library_build_type={build!r}; "
              "refusing to keep numbers from a non-optimized build")
 EOF
+inject_cpuinfo "$repo_root/BENCH_pairing.json"
 echo "wrote $repo_root/BENCH_pairing.json"
 
 # bench_protocols is a table-printing harness (messages/bytes per protocol
@@ -96,12 +126,14 @@ for line in sys.stdin:
 json.dump({"context": {"source": "bench_protocols"}, "benchmarks": rows},
           sys.stdout, indent=2)
 ' > "$repo_root/BENCH_protocols.json"
+inject_cpuinfo "$repo_root/BENCH_protocols.json"
 echo "wrote $repo_root/BENCH_protocols.json"
 
 if [[ ! -s "$repo_root/BENCH_metrics.json" ]]; then
   echo "error: bench_protocols did not produce BENCH_metrics.json" >&2
   exit 1
 fi
+inject_cpuinfo "$repo_root/BENCH_metrics.json"
 echo "wrote $repo_root/BENCH_metrics.json"
 
 # bench_throughput writes its own JSON; same debug-build guard as above
@@ -120,6 +152,7 @@ if build != "release":
     sys.exit(f"error: throughput report says library_build_type={build!r}; "
              "refusing to keep numbers from a non-optimized build")
 EOF
+inject_cpuinfo "$repo_root/BENCH_throughput.json"
 echo "wrote $repo_root/BENCH_throughput.json"
 
 # bench_ledger writes its own JSON; same debug-build guard.
@@ -142,4 +175,5 @@ if report.get("proof_verify_latency_ns", {}).get("count", 0) == 0:
     sys.exit("error: ledger report has no proof-verify latency samples; "
              "was the obs registry attached?")
 EOF
+inject_cpuinfo "$repo_root/BENCH_ledger.json"
 echo "wrote $repo_root/BENCH_ledger.json"
