@@ -11,6 +11,10 @@
 //
 // Commands:
 //   store <n>                 generate n PHI files and run §IV.B storage
+//   store attach <dir>        attach the persistent account store (src/store)
+//   store stats               segment/record/byte counts of the attached store
+//   store compact             fold dead versions into fresh segments
+//   store verify              self-check frames + map/store differential oracle
 //   keywords                  list the patient's keyword dictionary
 //   retrieve <kw>             §IV.D common-case retrieval
 //   family <kw>               §IV.E.1 family emergency retrieval
@@ -50,6 +54,69 @@ void cmd_store(Deployment& d, size_t n) {
             assign_privilege(*d.patient, *d.pdevice, d.mu_pdevice);
   std::printf("stored %zu files total -> %s\n", d.patient->files().size(),
               ok ? "ok" : "FAILED");
+}
+
+// `store attach|stats|compact|verify` — the persistent account store
+// (src/store) behind the deployment's S-server, mirroring the `ledger`
+// subcommand family.
+void cmd_store_sub(Deployment& d, const std::string& sub,
+                   std::istringstream& in) {
+  core::SServer& s = *d.sserver;
+  if (sub == "attach") {
+    std::string dir;
+    in >> dir;
+    if (dir.empty()) {
+      std::printf("usage: store attach <dir>\n");
+      return;
+    }
+    hcpp::store::StoreRecoveryReport rec;
+    if (!s.attach_store(dir, &rec)) {
+      std::printf("attach FAILED (%s not writable?)\n", dir.c_str());
+      return;
+    }
+    std::printf("attached %s: recovered %llu records (%llu tombstones) from "
+                "%zu segment(s), %llu torn bytes%s; %zu account(s) live\n",
+                dir.c_str(), static_cast<unsigned long long>(rec.records),
+                static_cast<unsigned long long>(rec.tombstones), rec.segments,
+                static_cast<unsigned long long>(rec.torn_bytes),
+                rec.tail_discarded ? " (torn tail truncated)" : "",
+                s.account_count());
+    return;
+  }
+  if (!s.has_store()) {
+    std::printf("no store attached ('store attach <dir>' first)\n");
+    return;
+  }
+  if (sub == "stats") {
+    hcpp::store::StoreStats st = s.account_store().stats();
+    std::printf("store %s: %zu segment(s), %zu live record(s), %zu "
+                "tombstone(s)\n",
+                s.account_store().dir().c_str(), st.segments, st.live_records,
+                st.tombstones);
+    std::printf("  bytes: %llu live / %llu dead / %llu total; last version "
+                "%llu; %llu compaction(s)\n",
+                static_cast<unsigned long long>(st.live_bytes),
+                static_cast<unsigned long long>(st.dead_bytes),
+                static_cast<unsigned long long>(st.total_bytes),
+                static_cast<unsigned long long>(st.last_version),
+                static_cast<unsigned long long>(st.compactions));
+  } else if (sub == "compact") {
+    hcpp::store::CompactionReport rep = s.account_store().compact();
+    std::printf("compacted: %zu -> %zu segment(s), reclaimed %llu bytes "
+                "(%zu live records kept, %zu tombstones dropped)\n",
+                rep.segments_before, rep.segments_after,
+                static_cast<unsigned long long>(rep.reclaimed_bytes),
+                rep.live_records, rep.tombstones_dropped);
+  } else if (sub == "verify") {
+    bool frames_ok = s.account_store().self_check();
+    bool oracle_ok = s.store_consistent();
+    std::printf("frames: %s; map/store differential oracle: %s -> %s\n",
+                frames_ok ? "ok" : "CORRUPT", oracle_ok ? "ok" : "DIVERGED",
+                frames_ok && oracle_ok ? "ok" : "FAILED");
+  } else {
+    std::printf("usage: store <n> | store attach <dir>|stats|compact|"
+                "verify\n");
+  }
 }
 
 void cmd_retrieve(Deployment& d, const std::string& kw) {
@@ -289,9 +356,16 @@ int main() {
     if (cmd == "quit" || cmd == "exit") break;
     try {
       if (cmd == "store") {
-        size_t n = 0;
-        in >> n;
-        cmd_store(d, n == 0 ? 8 : n);
+        std::string arg;
+        in >> arg;
+        bool numeric = !arg.empty();
+        for (char c : arg) numeric = numeric && c >= '0' && c <= '9';
+        if (arg.empty() || numeric) {
+          size_t n = arg.empty() ? 0 : std::stoull(arg);
+          cmd_store(d, n == 0 ? 8 : n);
+        } else {
+          cmd_store_sub(d, arg, in);
+        }
       } else if (cmd == "keywords") {
         for (const std::string& kw : d.all_keywords()) {
           std::printf("  %s\n", kw.c_str());
@@ -337,7 +411,8 @@ int main() {
         cmd_trace(d, sub);
       } else if (cmd == "help") {
         std::printf(
-            "store <n> | keywords | retrieve <kw> | family <kw> | "
+            "store <n> | store attach <dir>|stats|compact|verify | "
+            "keywords | retrieve <kw> | family <kw> | "
             "emergency <dr> <kw> | onduty <dr> on|off | revoke "
             "family|pdevice | audit | ledger verify|proof <seq>|anchor|show "
             "| stats | metrics [json|prom] | trace on|off|show|clear | "

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/obs/metrics.h"
+#include "src/store/shard.h"
 
 namespace hcpp::core {
 
@@ -55,8 +56,9 @@ std::vector<TraceRecord> AServerCluster::all_traces() const {
 // ---- SServerGroup ----------------------------------------------------------
 
 SServerGroup::SServerGroup(sim::Network& net, const AServer& authority,
-                           const std::string& service_id, size_t replicas)
-    : net_(&net), service_id_(service_id) {
+                           const std::string& service_id, size_t replicas,
+                           Placement placement)
+    : net_(&net), service_id_(service_id), placement_(placement) {
   if (replicas == 0) {
     throw std::invalid_argument("SServerGroup: need at least one replica");
   }
@@ -67,12 +69,31 @@ SServerGroup::SServerGroup(sim::Network& net, const AServer& authority,
   up_.assign(replicas, true);
 }
 
+size_t SServerGroup::shard_of(BytesView tp) const {
+  if (!sharded()) return 0;
+  return store::shard_for_pseudonym(tp, replicas_.size());
+}
+
+SServer& SServerGroup::shard_for(BytesView tp) {
+  return *replicas_[shard_of(tp)];
+}
+
+bool SServerGroup::attach_stores(const std::string& dir_root) {
+  bool ok = true;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    ok &= replicas_[i]->attach_store(dir_root + "/shard-" +
+                                     std::to_string(i));
+  }
+  return ok;
+}
+
 void SServerGroup::set_up(size_t i, bool up) {
   up_.at(i) = up;
   net_->set_node_up(replicas_[i]->id(), up);
 }
 
 bool SServerGroup::sync_replicas() {
+  if (sharded()) return false;  // disjoint shards: nothing to mirror
   SServer* source = nullptr;
   for (size_t i = 0; i < replicas_.size(); ++i) {
     if (up_[i]) {

@@ -7,9 +7,17 @@
 //
 // SServerGroup applies the same treatment to the hospital storage tier: a
 // set of S-server replicas sharing one *service identity* (so every client's
-// pairwise key ν works against any of them) whose encrypted collections are
-// mirrored on upload and re-synced after an outage. Reads fail over to the
-// next replica when the transport gives up on one.
+// pairwise key ν works against any of them). Two placements:
+//
+//   * kReplicated (the original §VI.D mode): collections are mirrored onto
+//     every replica on upload and re-synced after an outage; reads fail over
+//     to the next replica when the transport gives up on one.
+//   * kSharded (ROADMAP item 2 scale-out): each account lives on exactly one
+//     replica, chosen by store::shard_for_pseudonym over the presented TPp —
+//     capacity grows with the group instead of being copied across it, and
+//     a write/republish on one shard never touches the others. Clients
+//     route to the owner (shard_for) instead of fanning out; there is no
+//     failover target, so an unreachable shard is a transient error.
 #pragma once
 
 #include "src/core/entities.h"
@@ -67,14 +75,34 @@ class AServerCluster {
 /// revoke_member(SServerGroup&); reads fail over replica-by-replica.
 class SServerGroup {
  public:
+  enum class Placement {
+    kReplicated,  // every account on every replica (mirror + failover)
+    kSharded,     // each account on exactly one replica (hash routing)
+  };
+
   SServerGroup(sim::Network& net, const AServer& authority,
-               const std::string& service_id, size_t replicas);
+               const std::string& service_id, size_t replicas,
+               Placement placement = Placement::kReplicated);
 
   [[nodiscard]] const std::string& service_id() const noexcept {
     return service_id_;
   }
   [[nodiscard]] size_t size() const noexcept { return replicas_.size(); }
   [[nodiscard]] SServer& replica(size_t i) { return *replicas_.at(i); }
+  [[nodiscard]] Placement placement() const noexcept { return placement_; }
+  [[nodiscard]] bool sharded() const noexcept {
+    return placement_ == Placement::kSharded;
+  }
+
+  /// Shard index owning the accounts of pseudonym `tp` (always 0 when
+  /// replicated — any replica serves any account).
+  [[nodiscard]] size_t shard_of(BytesView tp) const;
+  /// The replica owning `tp`'s accounts.
+  [[nodiscard]] SServer& shard_for(BytesView tp);
+
+  /// Attaches a persistent store to every replica, one directory per shard
+  /// ("<dir_root>/shard-<i>"). Returns false if any attach failed.
+  bool attach_stores(const std::string& dir_root);
 
   /// Simulated outage control, mirrored to the network substrate.
   void set_up(size_t i, bool up);
@@ -82,12 +110,14 @@ class SServerGroup {
 
   /// Recovery: copies the authoritative state (first up replica's export)
   /// onto every other up replica — the catch-up a real mirror would run
-  /// after an outage. Returns false when no replica is up.
+  /// after an outage. Returns false when no replica is up, and always false
+  /// in sharded placement (shards are disjoint; there is nothing to mirror).
   bool sync_replicas();
 
  private:
   sim::Network* net_;
   std::string service_id_;
+  Placement placement_ = Placement::kReplicated;
   std::vector<std::unique_ptr<SServer>> replicas_;
   std::vector<bool> up_;
 };

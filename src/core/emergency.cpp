@@ -126,9 +126,13 @@ Result<std::vector<sse::PlainFile>> privileged_retrieve_failover(
     sim::Network& net, const std::string& actor, SServerGroup& group,
     const PrivilegeBundle& pb, std::span<const std::string> keywords) {
   uint32_t attempts = 0;
-  for (size_t i = 0; i < group.size(); ++i) {
+  // Sharded placement routes by the bundle's pseudonym — one owner, one try.
+  const size_t first = group.sharded() ? group.shard_of(pb.tp) : 0;
+  const size_t tries = group.sharded() ? 1 : group.size();
+  for (size_t i = 0; i < tries; ++i) {
     Result<std::vector<sse::PlainFile>> r =
-        privileged_retrieve(net, actor, group.replica(i), pb, keywords);
+        privileged_retrieve(net, actor, group.replica(first + i), pb,
+                            keywords);
     if (r.ok() || !r.error().transient()) return r;
     attempts += r.error().attempts;
     obs::count(obs::kSGroupFailover);

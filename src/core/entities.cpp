@@ -113,6 +113,79 @@ std::vector<std::string> SServer::visible_account_ids() const {
   return out;
 }
 
+Bytes SServer::account_to_bytes(const Account& acct) {
+  io::Writer w;
+  w.bytes(acct.index.to_bytes());
+  w.bytes(acct.files.to_bytes());
+  w.bytes(acct.d);
+  w.bytes(acct.be_blob);
+  return w.take();
+}
+
+SServer::Account SServer::account_from_bytes(BytesView b) {
+  io::Reader r(b);
+  Account acct;
+  acct.index = sse::SecureIndex::from_bytes(r.bytes());
+  acct.files = sse::EncryptedCollection::from_bytes(r.bytes());
+  acct.d = r.bytes();
+  acct.be_blob = r.bytes();
+  if (!r.done()) {
+    throw std::invalid_argument("SServer: trailing bytes in account record");
+  }
+  return acct;
+}
+
+void SServer::store_put(const std::string& key, const Account& acct) {
+  if (!store_.is_open()) return;
+  if (!store_.put(key, account_to_bytes(acct))) {
+    throw std::runtime_error("SServer: account write-through failed");
+  }
+}
+
+void SServer::store_replace_all() {
+  if (!store_.is_open()) return;
+  for (const std::string& key : store_.keys()) {
+    if (!accounts_.contains(key)) store_.erase(key);
+  }
+  for (const auto& [key, acct] : accounts_) store_put(key, acct);
+}
+
+bool SServer::attach_store(const std::string& dir,
+                           store::StoreRecoveryReport* report) {
+  try {
+    store_ = store::AccountStore::open(dir, {}, report);
+  } catch (const std::exception&) {
+    return false;
+  }
+  // The durable copy wins for keys both sides know; accounts only the live
+  // map has (e.g. a deployment populated before attaching) are written
+  // through so the two ends match from here on.
+  try {
+    store_.for_each([&](const std::string& key, const Bytes& value) {
+      accounts_[key] = account_from_bytes(value);
+    });
+  } catch (const std::exception&) {
+    store_ = store::AccountStore();
+    return false;
+  }
+  for (const auto& [key, acct] : accounts_) {
+    if (!store_.contains(key)) store_put(key, acct);
+  }
+  return true;
+}
+
+bool SServer::store_consistent() const {
+  if (!store_.is_open()) return true;
+  if (store_.size() != accounts_.size()) return false;
+  for (const auto& [key, acct] : accounts_) {
+    std::optional<Bytes> stored = store_.get(key);
+    if (!stored.has_value() || *stored != account_to_bytes(acct)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 namespace {
 constexpr uint8_t kStateFormatVersion = 1;
 }
@@ -168,6 +241,7 @@ bool SServer::import_state(BytesView state) {
     if (!r.done()) return false;  // trailing junk
     accounts_ = std::move(accounts);
     mhi_store_ = std::move(mhi);
+    store_replace_all();
     return true;
   } catch (const std::exception&) {
     return false;

@@ -26,6 +26,7 @@
 #include "src/ledger/ledger.h"
 #include "src/peks/peks.h"
 #include "src/sim/network.h"
+#include "src/store/store.h"
 
 namespace hcpp::sim {
 class OnionNetwork;
@@ -213,6 +214,28 @@ class SServer {
   /// search service and its clients can address snapshots).
   static std::string account_key(BytesView tp, const std::string& collection);
 
+  /// Attaches a persistent account store (src/store) at `dir`: recovers it,
+  /// hydrates the in-memory map from the surviving records, writes through
+  /// any in-memory accounts the store is missing, and from then on mirrors
+  /// every account mutation into the log. The map stays the serving copy —
+  /// the store is the durable one — which is exactly what makes it a
+  /// differential oracle: store_consistent() can compare the two byte for
+  /// byte at any point. The MHI store is not yet persisted (ciphertext-only
+  /// side table; see DESIGN.md §11).
+  bool attach_store(const std::string& dir,
+                    store::StoreRecoveryReport* report = nullptr);
+  [[nodiscard]] bool has_store() const noexcept { return store_.is_open(); }
+  [[nodiscard]] store::AccountStore& account_store() noexcept {
+    return store_;
+  }
+  [[nodiscard]] const store::AccountStore& account_store() const noexcept {
+    return store_;
+  }
+  /// Differential oracle: true iff the store holds exactly the accounts the
+  /// in-memory map does, each serialized byte-identical. Always true without
+  /// an attached store.
+  [[nodiscard]] bool store_consistent() const;
+
  private:
   struct Account {
     sse::SecureIndex index;
@@ -228,6 +251,17 @@ class SServer {
 
   Account* find_account(BytesView tp, const std::string& collection);
 
+  /// Store-frame serialization of one account (index ‖ files ‖ d ‖ BE_U(d)),
+  /// the byte format store_consistent() compares against.
+  static Bytes account_to_bytes(const Account& acct);
+  static Account account_from_bytes(BytesView b);
+  /// Write-through: mirrors one account into the attached store (no-op when
+  /// none is attached). Called after every accounts_ mutation.
+  void store_put(const std::string& key, const Account& acct);
+  /// Write-through for whole-map replacement (import_state): rewrites every
+  /// account and tombstones store keys the new map no longer has.
+  void store_replace_all();
+
   sim::Network* net_;
   std::string id_;
   std::string service_id_;
@@ -236,6 +270,7 @@ class SServer {
   ibc::SharedKeyDeriver nu_deriver_;  // fixed-Γ_S ν/ρ precomputation
   std::map<std::string, Account> accounts_;
   std::vector<MhiEntry> mhi_store_;
+  store::AccountStore store_;  // unopened until attach_store()
 };
 
 // ---------------------------------------------------------------------------

@@ -105,6 +105,12 @@ Result<size_t> Patient::revoke_member(SServerGroup& group, size_t slot) {
   req.t = net_->clock().now();
   req.mac = protocol_mac(nu, kRevokeLabel, req.body(), req.t);
 
+  if (group.sharded()) {
+    // The owning shard is the only holder of this account's d / BE_U(d).
+    Result<void> r = send_revoke(*net_, name_, group.shard_for(req.tp), req);
+    if (r.ok()) return size_t{1};
+    return r.error();
+  }
   size_t applied = 0;
   bool any_rejected = false;
   uint32_t attempts = 0;
@@ -151,6 +157,7 @@ bool SServer::handle_revoke(const RevokeRequest& req) {
   } catch (const std::exception&) {
     return false;
   }
+  store_put(account_key(req.tp, req.collection), *acct);
   return true;
 }
 

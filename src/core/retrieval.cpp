@@ -96,7 +96,11 @@ Result<std::vector<sse::PlainFile>> Patient::retrieve(
   }
   Bytes nu = shared_key_nu();
   uint32_t attempts = 0;
-  for (size_t i = 0; i < group.size(); ++i) {
+  // Sharded: only the owning shard holds the account — one attempt, no
+  // failover target. Replicated: try each mirror in turn.
+  const size_t first = group.sharded() ? group.shard_of(tp_bytes()) : 0;
+  const size_t tries = group.sharded() ? 1 : group.size();
+  for (size_t i = 0; i < tries; ++i) {
     RetrieveRequest req;
     req.tp = tp_bytes();
     req.collection = collection_;
@@ -104,7 +108,7 @@ Result<std::vector<sse::PlainFile>> Patient::retrieve(
     req.t = net_->clock().now();
     req.mac = protocol_mac(nu, kLabel, req.body(), req.t);
     Result<std::vector<sse::PlainFile>> r =
-        send_retrieve(*net_, name_, group.replica(i), req, nu, keys_);
+        send_retrieve(*net_, name_, group.replica(first + i), req, nu, keys_);
     if (r.ok() || !r.error().transient()) return r;
     attempts += r.error().attempts;
     obs::count(obs::kSGroupFailover);

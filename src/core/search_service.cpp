@@ -1,27 +1,73 @@
 #include "src/core/search_service.h"
 
 #include <set>
+#include <stdexcept>
 
+#include "src/core/cluster.h"
 #include "src/core/coalesce.h"
 #include "src/obs/trace.h"
 #include "src/par/pool.h"
 #include "src/sse/sse.h"
+#include "src/store/shard.h"
 
 namespace hcpp::core {
 
+SearchService::SearchService(par::ThreadPool* pool, size_t shards)
+    : pool_(pool) {
+  if (shards == 0) {
+    throw std::invalid_argument("SearchService: need at least one shard");
+  }
+  snapshots_.resize(shards);
+  for (auto& snap : snapshots_) snap = std::make_shared<const SnapshotMap>();
+}
+
 void SearchService::publish(const SServer& server) {
+  if (snapshots_.size() != 1) {
+    throw std::logic_error(
+        "SearchService: whole-service publish on a sharded service; use "
+        "publish_shard or publish(SServerGroup&)");
+  }
+  publish_shard(0, server);
+}
+
+void SearchService::publish_shard(size_t shard, const SServer& server) {
   auto snap = std::make_shared<const SnapshotMap>(server.snapshot_accounts());
   std::lock_guard<std::mutex> lock(mu_);
-  snapshot_ = std::move(snap);
+  snapshots_.at(shard) = std::move(snap);
 }
 
-std::shared_ptr<const SearchService::SnapshotMap> SearchService::current()
-    const {
+void SearchService::publish(SServerGroup& group) {
+  if (group.size() != snapshots_.size()) {
+    throw std::invalid_argument(
+        "SearchService: group size does not match shard count");
+  }
+  for (size_t i = 0; i < group.size(); ++i) {
+    publish_shard(i, group.replica(i));
+  }
+}
+
+std::shared_ptr<const SearchService::SnapshotMap> SearchService::current(
+    size_t shard) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return snapshot_;
+  return snapshots_.at(shard);
 }
 
-size_t SearchService::account_count() const { return current()->size(); }
+SearchService::ShardViews SearchService::current_all() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_;
+}
+
+const SearchService::SnapshotMap& SearchService::view_for(
+    const ShardViews& views, const std::string& account_key) {
+  return *views[store::shard_for_key(account_key, views.size())];
+}
+
+size_t SearchService::account_count() const {
+  ShardViews views = current_all();
+  size_t n = 0;
+  for (const auto& snap : views) n += snap->size();
+  return n;
+}
 
 SearchService::Result SearchService::answer(const SnapshotMap& snap,
                                             const Query& q) {
@@ -59,23 +105,25 @@ SearchService::Result SearchService::answer(const SnapshotMap& snap,
 std::vector<SearchService::Result> SearchService::search_batch(
     std::span<const Query> queries) const {
   obs::Span span("sserver:search_batch");
-  // One acquire for the whole batch: every worker reads the same immutable
-  // snapshot, so a concurrent publish() cannot tear a batch.
-  std::shared_ptr<const SnapshotMap> snap = current();
+  // One acquire of every shard pointer for the whole batch: every worker
+  // reads the same immutable snapshots, so a concurrent publish (on any
+  // shard) cannot tear a batch.
+  ShardViews views = current_all();
   std::vector<Result> out(queries.size());
+  auto answer_one = [&](size_t i) {
+    out[i] = answer(view_for(views, queries[i].account), queries[i]);
+  };
   if (pool_ == nullptr || queries.size() <= 1) {
-    for (size_t i = 0; i < queries.size(); ++i) {
-      out[i] = answer(*snap, queries[i]);
-    }
+    for (size_t i = 0; i < queries.size(); ++i) answer_one(i);
     return out;
   }
-  pool_->parallel_for(queries.size(),
-                      [&](size_t i) { out[i] = answer(*snap, queries[i]); });
+  pool_->parallel_for(queries.size(), answer_one);
   return out;
 }
 
 SearchService::Result SearchService::search(const Query& query) const {
-  return answer(*current(), query);
+  ShardViews views = current_all();
+  return answer(view_for(views, query.account), query);
 }
 
 std::vector<std::optional<RetrieveResponse>>
@@ -85,7 +133,7 @@ SearchService::search_batch_privileged(
   obs::Span span("sserver:search_batch_privileged");
   std::vector<std::optional<RetrieveResponse>> out(reqs.size());
   if (reqs.empty()) return out;
-  std::shared_ptr<const SnapshotMap> snap = current();
+  ShardViews views = current_all();
   const curve::CurveCtx& ctx = *server.nu_deriver().ctx();
   sim::Network& net = server.net();
 
@@ -130,8 +178,10 @@ SearchService::search_batch_privileged(
   auto answer_one = [&](size_t i) {
     if (!accepted[i]) return;
     const PrivilegedRetrieveRequest& req = reqs[i];
-    auto it = snap->find(SServer::account_key(req.tp, req.collection));
-    if (it == snap->end()) return;
+    std::string key = SServer::account_key(req.tp, req.collection);
+    const SnapshotMap& snap = view_for(views, key);
+    auto it = snap.find(key);
+    if (it == snap.end()) return;
     const AccountSnapshot& acct = it->second;
     std::set<sse::FileId> matched;
     std::vector<std::optional<sse::Trapdoor>> tds =

@@ -14,6 +14,12 @@
 // Wrapped (θ_d) trapdoors are unwrapped per query with one key schedule via
 // sse::unwrap_trapdoors; stale or corrupted blobs yield empty result slots,
 // mirroring handle_privileged_retrieve's tolerance.
+//
+// Sharded mode (shards > 1) keeps one snapshot pointer per shard, routed by
+// store::shard_for_key over the account key — publish_shard(i, server)
+// re-snapshots only that shard's accounts, so a republish on one shard no
+// longer copies the whole population's indexes. publish(SServerGroup&) maps
+// replica i to shard i.
 #pragma once
 
 #include <map>
@@ -56,12 +62,28 @@ class SearchService {
   };
 
   /// `pool == nullptr` answers every query inline on the caller's thread.
-  explicit SearchService(par::ThreadPool* pool = nullptr) : pool_(pool) {}
+  /// `shards` fixes the snapshot partitioning for the service's lifetime
+  /// (1 = the original single-snapshot behaviour).
+  explicit SearchService(par::ThreadPool* pool = nullptr, size_t shards = 1);
+
+  [[nodiscard]] size_t shard_count() const noexcept {
+    return snapshots_.size();
+  }
 
   /// Re-snapshots the server's accounts and atomically swaps them in.
+  /// Requires shard_count() == 1; sharded services publish per shard.
   void publish(const SServer& server);
 
-  /// Number of accounts in the current snapshot.
+  /// Re-snapshots one shard from its owning server, leaving the other
+  /// shards' snapshots untouched (and in-flight queries on any shard
+  /// unaffected — same shared_ptr isolation as publish()).
+  void publish_shard(size_t shard, const SServer& server);
+
+  /// Publishes every replica of a sharded group to its shard index.
+  /// Requires group.size() == shard_count().
+  void publish(SServerGroup& group);
+
+  /// Number of accounts across all current shard snapshots.
   [[nodiscard]] size_t account_count() const;
 
   /// Answers all queries, parallel over queries. result[i] corresponds to
@@ -89,14 +111,21 @@ class SearchService {
 
  private:
   using SnapshotMap = std::map<std::string, AccountSnapshot>;
+  /// One shared_ptr per shard, acquired together so a batch sees a
+  /// consistent (if possibly mid-republish) set of shard views.
+  using ShardViews = std::vector<std::shared_ptr<const SnapshotMap>>;
 
-  [[nodiscard]] std::shared_ptr<const SnapshotMap> current() const;
+  [[nodiscard]] std::shared_ptr<const SnapshotMap> current(
+      size_t shard) const;
+  [[nodiscard]] ShardViews current_all() const;
+  /// The shard snapshot responsible for `account_key`.
+  static const SnapshotMap& view_for(const ShardViews& views,
+                                     const std::string& account_key);
   static Result answer(const SnapshotMap& snap, const Query& q);
 
   par::ThreadPool* pool_;
-  mutable std::mutex mu_;  // guards snapshot_ swap only, never the read path
-  std::shared_ptr<const SnapshotMap> snapshot_ =
-      std::make_shared<const SnapshotMap>();
+  mutable std::mutex mu_;  // guards snapshot swaps only, never the read path
+  ShardViews snapshots_;   // size fixed at construction
 };
 
 }  // namespace hcpp::core

@@ -86,10 +86,17 @@ Result<size_t> Patient::store_phi(SServerGroup& group) {
       apply_keyword_aliases(files_, alias_count_);
   // One prepared upload, mirrored to every replica (same MAC — each replica
   // keeps its own replay cache, and the transport keys idempotency by
-  // (receiver, MAC), so the fan-out is safe).
+  // (receiver, MAC), so the fan-out is safe). Sharded groups get exactly one
+  // upload, to the owning shard.
   StoreRequest req = build_store_request(
       rng_, collection_, aliased, files_, *be_group_, keys_,
       net_->clock().now(), shared_key_nu(), tp_bytes());
+  if (group.sharded()) {
+    Result<void> r =
+        send_store(*net_, name_, group.shard_for(req.tp), req);
+    if (r.ok()) return size_t{1};
+    return r.error();
+  }
   size_t stored = 0;
   bool any_rejected = false;
   uint32_t attempts = 0;
@@ -155,7 +162,9 @@ bool SServer::handle_store(const StoreRequest& req) {
   }
   acct.d = req.d;
   acct.be_blob = req.be_blob;
-  accounts_[account_key(req.tp, req.collection)] = std::move(acct);
+  std::string key = account_key(req.tp, req.collection);
+  accounts_[key] = std::move(acct);
+  store_put(key, accounts_[key]);
   return true;
 }
 

@@ -112,6 +112,27 @@ inline constexpr const char* kLedgerRecoveredEntries =
     "ledger.recovered_entries";
 inline constexpr const char* kLedgerTornTailBytes = "ledger.torn_tail_bytes";
 
+// Persistent account store (src/store).
+inline constexpr const char* kStorePuts = "store.puts";
+inline constexpr const char* kStorePutNs = "store.put_ns";
+inline constexpr const char* kStoreGets = "store.gets";
+inline constexpr const char* kStoreGetNs = "store.get_ns";
+inline constexpr const char* kStoreErases = "store.erases";
+inline constexpr const char* kStoreSegmentRolls = "store.segment_rolls";
+inline constexpr const char* kStoreCompactions = "store.compactions";
+inline constexpr const char* kStoreCompactNs = "store.compact_ns";
+inline constexpr const char* kStoreRecoveries = "store.recoveries";
+inline constexpr const char* kStoreRecoverNs = "store.recover_ns";
+inline constexpr const char* kStoreTornTails = "store.torn_tails";
+
+// Load harness (bench/bench_load.cpp) — per-op latency histograms the bench
+// converts into the BENCH_load.json percentile curve.
+inline constexpr const char* kLoadOpNs = "load.op_ns";  // all op classes
+inline constexpr const char* kLoadStoreNs = "load.store_ns";
+inline constexpr const char* kLoadSearchNs = "load.search_ns";
+inline constexpr const char* kLoadRetrieveNs = "load.retrieve_ns";
+inline constexpr const char* kLoadEmergencyNs = "load.emergency_ns";
+
 // Replication / failover (src/core/cluster.cpp and the failover loops).
 inline constexpr const char* kSGroupFailover = "cluster.sserver.failover";
 inline constexpr const char* kSGroupMirrorWrites =

@@ -1,0 +1,243 @@
+#include "src/store/segment.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/common/serialize.h"
+#include "src/hash/sha256.h"
+
+namespace hcpp::store {
+
+namespace {
+
+constexpr char kMagic[] = {'H', 'C', 'P', 'S', '\x01'};
+constexpr size_t kMagicSize = sizeof(kMagic);
+// Frame header: u8 type ‖ u32 body length (big-endian).
+constexpr size_t kFrameHeaderSize = 5;
+constexpr size_t kChecksumSize = 32;
+
+bool write_all(int fd, const uint8_t* data, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+Bytes frame_checksum(uint8_t type, uint64_t version, std::string_view key,
+                     BytesView value) {
+  io::Writer w;
+  w.str("hcpp-store-frame");
+  w.u8(type);
+  w.u64(version);
+  w.str(key);
+  w.bytes(value);
+  return hash::sha256_bytes(w.data());
+}
+
+std::string Segment::file_name(uint32_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06u.hcps", id);
+  return buf;
+}
+
+std::optional<uint32_t> Segment::id_from_name(std::string_view name) {
+  if (name.size() != 15 || !name.starts_with("seg-") ||
+      !name.ends_with(".hcps")) {
+    return std::nullopt;
+  }
+  uint32_t id = 0;
+  for (size_t i = 4; i < 10; ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    id = id * 10 + static_cast<uint32_t>(c - '0');
+  }
+  return id;
+}
+
+std::unique_ptr<Segment> Segment::create(const std::string& dir, uint32_t id) {
+  std::string path = dir + "/" + file_name(id);
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL | O_APPEND, 0644);
+  if (fd < 0) return nullptr;
+  if (!write_all(fd, reinterpret_cast<const uint8_t*>(kMagic), kMagicSize)) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    return nullptr;
+  }
+  auto seg = std::unique_ptr<Segment>(new Segment());
+  seg->path_ = std::move(path);
+  seg->id_ = id;
+  seg->fd_ = fd;
+  seg->size_ = kMagicSize;
+  return seg;
+}
+
+std::unique_ptr<Segment> Segment::open(const std::string& dir, uint32_t id) {
+  std::string path = dir + "/" + file_name(id);
+  int fd = ::open(path.c_str(), O_RDWR | O_APPEND);
+  if (fd < 0) return nullptr;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  auto seg = std::unique_ptr<Segment>(new Segment());
+  seg->path_ = std::move(path);
+  seg->id_ = id;
+  seg->fd_ = fd;
+  seg->size_ = static_cast<uint64_t>(st.st_size);
+  return seg;
+}
+
+Segment::~Segment() {
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+uint64_t Segment::frame_size(std::string_view key, BytesView value) {
+  // header ‖ u64 version ‖ str key ‖ bytes value ‖ checksum
+  return kFrameHeaderSize + 8 + 4 + key.size() + 4 + value.size() +
+         kChecksumSize;
+}
+
+std::optional<uint64_t> Segment::append(uint8_t type, uint64_t version,
+                                        std::string_view key, BytesView value,
+                                        bool sync) {
+  if (sealed()) throw std::logic_error("Segment: append after seal");
+  io::Writer body;
+  body.u64(version);
+  body.str(key);
+  body.bytes(value);
+  body.raw(frame_checksum(type, version, key, value));
+  io::Writer frame;
+  frame.u8(type);
+  frame.bytes(body.data());
+  uint64_t offset = size_;
+  if (!write_all(fd_, frame.data().data(), frame.data().size())) return std::nullopt;
+  if (sync && ::fdatasync(fd_) != 0) return std::nullopt;
+  size_ += frame.data().size();
+  return offset;
+}
+
+bool Segment::read_raw(uint64_t offset, uint32_t length, uint8_t* out) const {
+  if (offset + length > size_) return false;
+  if (map_ != nullptr) {
+    std::memcpy(out, static_cast<const uint8_t*>(map_) + offset, length);
+    return true;
+  }
+  size_t done = 0;
+  while (done < length) {
+    ssize_t r = ::pread(fd_, out + done, length - done,
+                        static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;
+    done += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+Frame Segment::read(uint64_t offset, uint32_t length) const {
+  Bytes buf(length);
+  if (!read_raw(offset, length, buf.data())) {
+    throw std::runtime_error("Segment: read past end of " + path_);
+  }
+  io::Reader r(buf);
+  Frame f;
+  f.type = r.u8();
+  Bytes body = r.bytes();
+  io::Reader br(body);
+  f.version = br.u64();
+  f.key = br.str();
+  f.value = br.bytes();
+  Bytes sum = br.raw(kChecksumSize);
+  if (!br.done() || !r.done() ||
+      sum != frame_checksum(f.type, f.version, f.key, f.value)) {
+    throw std::runtime_error("Segment: checksum mismatch in " + path_);
+  }
+  f.offset = offset;
+  f.length = length;
+  return f;
+}
+
+Bytes Segment::read_value(uint64_t offset, uint32_t length) const {
+  return read(offset, length).value;
+}
+
+uint64_t Segment::scan(const std::function<void(const Frame&)>& fn) const {
+  if (size_ < kMagicSize) return 0;
+  Bytes magic(kMagicSize);
+  if (!read_raw(0, kMagicSize, magic.data()) ||
+      std::memcmp(magic.data(), kMagic, kMagicSize) != 0) {
+    return 0;
+  }
+  uint64_t pos = kMagicSize;
+  while (pos < size_) {
+    if (size_ - pos < kFrameHeaderSize) break;
+    uint8_t header[kFrameHeaderSize];
+    if (!read_raw(pos, kFrameHeaderSize, header)) break;
+    uint32_t body_len = (uint32_t(header[1]) << 24) |
+                        (uint32_t(header[2]) << 16) |
+                        (uint32_t(header[3]) << 8) | uint32_t(header[4]);
+    uint64_t frame_len = kFrameHeaderSize + uint64_t(body_len);
+    if (size_ - pos < frame_len) break;
+    Frame f;
+    try {
+      f = read(pos, static_cast<uint32_t>(frame_len));
+    } catch (const std::exception&) {
+      break;  // torn or corrupted: everything from here on is discarded
+    }
+    if (f.type != kFrameRecord && f.type != kFrameTombstone) break;
+    fn(f);
+    pos += frame_len;
+  }
+  return pos;
+}
+
+bool Segment::truncate(uint64_t bytes) {
+  if (sealed()) throw std::logic_error("Segment: truncate after seal");
+  if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) return false;
+  size_ = bytes;
+  // O_APPEND keeps subsequent writes at the (new) end of file.
+  return true;
+}
+
+bool Segment::sync() { return ::fdatasync(fd_) == 0; }
+
+void Segment::seal() {
+  if (map_ != nullptr || size_ == 0) return;
+  void* m = ::mmap(nullptr, size_, PROT_READ, MAP_SHARED, fd_, 0);
+  if (m == MAP_FAILED) return;  // pread path keeps working
+  map_ = m;
+  map_size_ = size_;
+}
+
+void Segment::remove() {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_size_);
+    map_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ::unlink(path_.c_str());
+}
+
+}  // namespace hcpp::store

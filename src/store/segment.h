@@ -1,0 +1,119 @@
+// One append-only segment file of the log-structured account store
+// (store.h). A segment is a sequence of length-prefixed, checksummed frames
+// behind a fixed magic header; the only mutations are appending a frame at
+// the tail and truncating a torn tail discovered during recovery — the same
+// WAL discipline src/ledger proved out, with a per-frame SHA-256 commitment
+// instead of a hash chain (segments are independently rewritable by
+// compaction, so frames must self-validate rather than chain).
+//
+// Life cycle: a segment is *active* while the store appends to it (reads go
+// through pread on the same descriptor) and *sealed* once the store rolls to
+// a new segment — sealing memory-maps the file read-only, so the hot read
+// path of a big store is one memcpy out of the page cache with no syscall.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/common/bytes.h"
+
+namespace hcpp::store {
+
+/// Frame types. Records carry a value; tombstones mark a deletion and carry
+/// an empty value (kept in the log so replay-by-max-version suppresses older
+/// record frames until compaction folds both away).
+inline constexpr uint8_t kFrameRecord = 'R';
+inline constexpr uint8_t kFrameTombstone = 'T';
+
+/// One decoded frame, as surfaced to recovery scans.
+struct Frame {
+  uint8_t type = kFrameRecord;
+  uint64_t version = 0;
+  std::string key;
+  Bytes value;
+  uint64_t offset = 0;  // frame start within the segment file
+  uint32_t length = 0;  // full frame length (header + body)
+};
+
+/// Recomputes the commitment a frame's trailing digest must equal.
+Bytes frame_checksum(uint8_t type, uint64_t version, std::string_view key,
+                     BytesView value);
+
+// ---------------------------------------------------------------------------
+class Segment {
+ public:
+  /// File name for segment `id` ("seg-000042.hcps").
+  static std::string file_name(uint32_t id);
+  /// Parses a segment id back out of a file name; nullopt for foreign files.
+  static std::optional<uint32_t> id_from_name(std::string_view name);
+
+  /// Creates a fresh segment file (magic written and flushed).
+  static std::unique_ptr<Segment> create(const std::string& dir, uint32_t id);
+  /// Opens an existing segment for recovery/reads. Returns nullptr when the
+  /// file cannot be opened; a missing/short magic is reported by scan().
+  static std::unique_ptr<Segment> open(const std::string& dir, uint32_t id);
+
+  ~Segment();
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  [[nodiscard]] uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] uint64_t size_bytes() const noexcept { return size_; }
+  [[nodiscard]] bool sealed() const noexcept { return map_ != nullptr; }
+
+  /// Byte size the frame for (key, value) will occupy.
+  static uint64_t frame_size(std::string_view key, BytesView value);
+
+  /// Appends one frame and pushes it to the OS (write(2) on an O_APPEND
+  /// descriptor; `sync` additionally fdatasyncs). Returns the frame's offset,
+  /// or nullopt on I/O failure. Must not be called on a sealed segment.
+  std::optional<uint64_t> append(uint8_t type, uint64_t version,
+                                 std::string_view key, BytesView value,
+                                 bool sync);
+
+  /// Reads `length` bytes at `offset` (memcpy from the mapping when sealed,
+  /// pread otherwise) and decodes the frame. Throws std::runtime_error on
+  /// I/O failure or a checksum mismatch — the index never points at an
+  /// unvalidated frame, so a mismatch here means post-recovery corruption.
+  [[nodiscard]] Frame read(uint64_t offset, uint32_t length) const;
+  /// Like read(), but returns only the value bytes (the store's get path).
+  [[nodiscard]] Bytes read_value(uint64_t offset, uint32_t length) const;
+
+  /// Replays every valid frame from the start, invoking `fn` per frame, and
+  /// returns the byte length of the valid prefix (== size_bytes() when the
+  /// whole file parses). A missing magic yields 0. Frames after the first
+  /// malformed/torn one are never surfaced.
+  uint64_t scan(const std::function<void(const Frame&)>& fn) const;
+
+  /// Truncates the file to `bytes` (recovery's torn-tail discard).
+  bool truncate(uint64_t bytes);
+
+  /// fdatasyncs buffered appends (compaction's barrier before it unlinks the
+  /// segments it replaced).
+  bool sync();
+
+  /// Seals the segment: no further appends; reads go through a read-only
+  /// memory mapping (skipped for empty files, where pread remains).
+  void seal();
+
+  /// Closes and unlinks the file (compaction's reclamation step).
+  void remove();
+
+ private:
+  Segment() = default;
+  [[nodiscard]] bool read_raw(uint64_t offset, uint32_t length,
+                              uint8_t* out) const;
+
+  std::string path_;
+  uint32_t id_ = 0;
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  void* map_ = nullptr;       // non-null once sealed
+  uint64_t map_size_ = 0;
+};
+
+}  // namespace hcpp::store

@@ -1,0 +1,24 @@
+#include "src/store/shard.h"
+
+#include "src/hash/sha256.h"
+
+namespace hcpp::store {
+
+size_t shard_for_key(std::string_view account_key, size_t shards) {
+  if (shards <= 1) return 0;
+  // Hash only the pseudonym prefix so "<tp>/files" and "<tp>/notes" co-locate.
+  auto slash = account_key.find('/');
+  std::string_view pseudonym = account_key.substr(0, slash);
+  Bytes digest = hash::sha256_bytes(
+      BytesView(reinterpret_cast<const uint8_t*>(pseudonym.data()),
+                pseudonym.size()));
+  uint64_t h = 0;
+  for (size_t i = 0; i < 8; ++i) h = (h << 8) | digest[i];
+  return static_cast<size_t>(h % shards);
+}
+
+size_t shard_for_pseudonym(BytesView tp, size_t shards) {
+  return shard_for_key(hex_encode(tp), shards);
+}
+
+}  // namespace hcpp::store

@@ -1,0 +1,28 @@
+// Shard routing for the S-server group: which replica owns an account.
+//
+// Accounts shard by *pseudonym* (the tp bytes), not by the full
+// pseudonym/collection key, so every collection of one patient lands on the
+// same shard — retrieval, revocation and emergency break-the-glass for a
+// patient each talk to exactly one S-server. The hash is the first 8 bytes
+// of SHA-256 over the hex-encoded pseudonym, which is exactly the prefix of
+// SServer::account_key() before the '/' separator; shard_for_key() re-derives
+// the same shard from a stored account key, so the store layer and the
+// protocol layer can never disagree about ownership.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "src/common/bytes.h"
+
+namespace hcpp::store {
+
+/// Shard index for a full account key ("<hex(tp)>/<collection>") or a bare
+/// hex pseudonym. `shards` must be >= 1; with 1 shard everything maps to 0.
+[[nodiscard]] size_t shard_for_key(std::string_view account_key,
+                                   size_t shards);
+
+/// Shard index for raw pseudonym bytes (hex-encodes, then shard_for_key).
+[[nodiscard]] size_t shard_for_pseudonym(BytesView tp, size_t shards);
+
+}  // namespace hcpp::store

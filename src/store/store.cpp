@@ -1,0 +1,441 @@
+#include "src/store/store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <dirent.h>
+#include <filesystem>
+#include <stdexcept>
+
+#include "src/obs/metrics.h"
+
+namespace hcpp::store {
+
+namespace {
+
+// Wall-clock nanoseconds for obs latency histograms (the store runs on real
+// I/O, not the simulated clock).
+uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::vector<uint32_t> list_segment_ids(const std::string& dir) {
+  std::vector<uint32_t> ids;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return ids;
+  while (dirent* e = ::readdir(d)) {
+    if (auto id = Segment::id_from_name(e->d_name)) ids.push_back(*id);
+  }
+  ::closedir(d);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+AccountStore::AccountStore(AccountStore&& o) noexcept { *this = std::move(o); }
+
+AccountStore& AccountStore::operator=(AccountStore&& o) noexcept {
+  if (this == &o) return *this;
+  std::scoped_lock lk(mu_, o.mu_);
+  dir_ = std::move(o.dir_);
+  options_ = o.options_;
+  segments_ = std::move(o.segments_);
+  index_ = std::move(o.index_);
+  next_version_ = o.next_version_;
+  next_segment_id_ = o.next_segment_id_;
+  live_bytes_ = o.live_bytes_;
+  dead_bytes_ = o.dead_bytes_;
+  tombstones_ = o.tombstones_;
+  compactions_ = o.compactions_;
+  o.dir_.clear();
+  o.segments_.clear();
+  o.index_.clear();
+  return *this;
+}
+
+AccountStore::~AccountStore() = default;
+
+AccountStore AccountStore::open(const std::string& dir, StoreOptions options,
+                                StoreRecoveryReport* report) {
+  uint64_t t0 = now_ns();
+  std::error_code ec;  // pre-existing is fine; real failures surface below
+  std::filesystem::create_directories(dir, ec);
+
+  AccountStore st;
+  st.dir_ = dir;
+  st.options_ = options;
+
+  StoreRecoveryReport rec;
+  auto ids = list_segment_ids(dir);
+  for (uint32_t id : ids) {
+    auto seg = Segment::open(dir, id);
+    if (!seg) {
+      throw std::runtime_error("AccountStore: cannot open segment " +
+                               Segment::file_name(id) + " in " + dir);
+    }
+    bool last = (id == ids.back());
+    uint64_t valid = seg->scan([&](const Frame& f) {
+      Location loc;
+      loc.segment = id;
+      loc.offset = f.offset;
+      loc.length = f.length;
+      loc.version = f.version;
+      loc.tombstone = (f.type == kFrameTombstone);
+      // >= so an equal-version copy in a later segment (compaction output)
+      // wins over the original — both decode identically anyway.
+      auto it = st.index_.find(f.key);
+      if (it == st.index_.end() || f.version >= it->second.version) {
+        st.account_replace_locked(f.key, loc);
+      } else {
+        st.dead_bytes_ += f.length;
+      }
+      rec.last_version = std::max(rec.last_version, f.version);
+    });
+    if (valid < seg->size_bytes()) {
+      if (last) {
+        // Torn tail on the newest segment: an append the crash interrupted.
+        rec.torn_bytes += seg->size_bytes() - valid;
+        rec.tail_discarded = true;
+        if (!seg->truncate(valid)) {
+          throw std::runtime_error("AccountStore: cannot truncate torn tail of " +
+                                   seg->path());
+        }
+      } else {
+        // A non-newest segment can only be torn by a crash mid-compaction
+        // (it was the compactor's output when the crash hit). Its valid
+        // prefix already replayed; the garbage tail is dead weight that the
+        // next compaction folds away.
+        rec.torn_bytes += seg->size_bytes() - valid;
+        rec.tail_discarded = true;
+        seg->seal();
+      }
+    } else if (!last) {
+      seg->seal();
+    }
+    st.segments_.push_back(std::move(seg));
+  }
+
+  st.next_segment_id_ = ids.empty() ? 0 : ids.back() + 1;
+  st.next_version_ = rec.last_version + 1;
+
+  if (st.segments_.empty()) {
+    auto seg = Segment::create(dir, st.next_segment_id_++);
+    if (!seg) {
+      throw std::runtime_error("AccountStore: cannot create first segment in " +
+                               dir);
+    }
+    st.segments_.push_back(std::move(seg));
+  }
+
+  rec.segments = st.segments_.size();
+  rec.tombstones = st.tombstones_;
+  rec.records = st.index_.size() - st.tombstones_;
+  if (report != nullptr) *report = rec;
+
+  obs::count(obs::kStoreRecoveries);
+  obs::observe(obs::kStoreRecoverNs, now_ns() - t0);
+  if (rec.tail_discarded) obs::count(obs::kStoreTornTails);
+  return st;
+}
+
+Segment* AccountStore::active_locked() {
+  Segment* seg = segments_.back().get();
+  if (seg->size_bytes() >= options_.segment_bytes) {
+    seg->seal();
+    auto fresh = Segment::create(dir_, next_segment_id_);
+    if (!fresh) return seg;  // keep appending to the old one on failure
+    ++next_segment_id_;
+    segments_.push_back(std::move(fresh));
+    seg = segments_.back().get();
+    obs::count(obs::kStoreSegmentRolls);
+  }
+  return seg;
+}
+
+Segment* AccountStore::segment_locked(uint32_t id) const {
+  // Segments are sorted by id; binary search keeps gets O(log segments).
+  auto it = std::lower_bound(
+      segments_.begin(), segments_.end(), id,
+      [](const std::unique_ptr<Segment>& s, uint32_t v) { return s->id() < v; });
+  if (it == segments_.end() || (*it)->id() != id) return nullptr;
+  return it->get();
+}
+
+void AccountStore::account_replace_locked(const std::string& key,
+                                          const Location& loc) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    dead_bytes_ += it->second.length;
+    live_bytes_ -= it->second.length;
+    if (it->second.tombstone) --tombstones_;
+    it->second = loc;
+  } else {
+    index_.emplace(key, loc);
+  }
+  live_bytes_ += loc.length;
+  if (loc.tombstone) ++tombstones_;
+}
+
+bool AccountStore::append_locked(uint8_t type, std::string_view key,
+                                 BytesView value) {
+  Segment* seg = active_locked();
+  uint64_t version = next_version_;
+  auto offset = seg->append(type, version, key, value, options_.fsync);
+  if (!offset) return false;
+  ++next_version_;
+  Location loc;
+  loc.segment = seg->id();
+  loc.offset = *offset;
+  loc.length = static_cast<uint32_t>(Segment::frame_size(key, value));
+  loc.version = version;
+  loc.tombstone = (type == kFrameTombstone);
+  account_replace_locked(std::string(key), loc);
+  return true;
+}
+
+bool AccountStore::put(std::string_view key, BytesView value) {
+  uint64_t t0 = now_ns();
+  std::lock_guard lk(mu_);
+  if (!is_open()) return false;
+  bool ok = append_locked(kFrameRecord, key, value);
+  if (ok) {
+    obs::count(obs::kStorePuts);
+    obs::observe(obs::kStorePutNs, now_ns() - t0);
+  }
+  return ok;
+}
+
+bool AccountStore::erase(std::string_view key) {
+  std::lock_guard lk(mu_);
+  if (!is_open()) return false;
+  auto it = index_.find(std::string(key));
+  if (it == index_.end() || it->second.tombstone) return false;
+  if (!append_locked(kFrameTombstone, key, {})) return false;
+  obs::count(obs::kStoreErases);
+  return true;
+}
+
+std::optional<Bytes> AccountStore::get(std::string_view key) const {
+  uint64_t t0 = now_ns();
+  std::lock_guard lk(mu_);
+  auto it = index_.find(std::string(key));
+  if (it == index_.end() || it->second.tombstone) return std::nullopt;
+  Segment* seg = segment_locked(it->second.segment);
+  if (seg == nullptr) {
+    throw std::logic_error("AccountStore: index points at missing segment");
+  }
+  Bytes value = seg->read(it->second.offset, it->second.length).value;
+  obs::count(obs::kStoreGets);
+  obs::observe(obs::kStoreGetNs, now_ns() - t0);
+  return value;
+}
+
+bool AccountStore::contains(std::string_view key) const {
+  std::lock_guard lk(mu_);
+  auto it = index_.find(std::string(key));
+  return it != index_.end() && !it->second.tombstone;
+}
+
+size_t AccountStore::size() const {
+  std::lock_guard lk(mu_);
+  return index_.size() - tombstones_;
+}
+
+std::vector<std::string> AccountStore::keys() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(index_.size() - tombstones_);
+  for (const auto& [k, loc] : index_) {
+    if (!loc.tombstone) out.push_back(k);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void AccountStore::for_each(const std::function<void(const std::string&,
+                                                     const Bytes&)>& fn) const {
+  std::lock_guard lk(mu_);
+  for (const auto& [k, loc] : index_) {
+    if (loc.tombstone) continue;
+    Segment* seg = segment_locked(loc.segment);
+    if (seg == nullptr) {
+      throw std::logic_error("AccountStore: index points at missing segment");
+    }
+    fn(k, seg->read(loc.offset, loc.length).value);
+  }
+}
+
+StoreStats AccountStore::stats() const {
+  std::lock_guard lk(mu_);
+  StoreStats s;
+  s.segments = segments_.size();
+  s.live_records = index_.size() - tombstones_;
+  s.tombstones = tombstones_;
+  s.live_bytes = live_bytes_;
+  s.dead_bytes = dead_bytes_;
+  for (const auto& seg : segments_) s.total_bytes += seg->size_bytes();
+  s.last_version = next_version_ - 1;
+  s.compactions = compactions_;
+  return s;
+}
+
+CompactionReport AccountStore::compact() {
+  uint64_t t0 = now_ns();
+  std::lock_guard lk(mu_);
+  CompactionReport rep;
+  if (!is_open()) return rep;
+  rep.segments_before = segments_.size();
+  rep.tombstones_dropped = tombstones_;
+  uint64_t bytes_before = 0;
+  for (const auto& seg : segments_) bytes_before += seg->size_bytes();
+
+  // Stable key order keeps the compacted layout deterministic for a given
+  // logical state, which the differential tests lean on.
+  std::vector<const std::string*> live;
+  live.reserve(index_.size());
+  for (const auto& [k, loc] : index_) {
+    if (!loc.tombstone) live.push_back(&k);
+  }
+  std::sort(live.begin(), live.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+
+  // Phase 1: rewrite live records (original versions preserved) into fresh
+  // segments whose ids sit strictly above every existing one. A crash here
+  // leaves old+partial-new; version-max replay of the union is identical to
+  // the pre-compaction state.
+  std::vector<std::unique_ptr<Segment>> fresh;
+  std::unordered_map<std::string, Location> new_index;
+  new_index.reserve(live.size());
+  uint64_t new_live_bytes = 0;
+
+  auto roll = [&]() -> Segment* {
+    if (!fresh.empty() &&
+        fresh.back()->size_bytes() < options_.segment_bytes) {
+      return fresh.back().get();
+    }
+    if (!fresh.empty()) fresh.back()->seal();
+    auto seg = Segment::create(dir_, next_segment_id_);
+    if (!seg) return nullptr;
+    ++next_segment_id_;
+    fresh.push_back(std::move(seg));
+    return fresh.back().get();
+  };
+
+  for (const std::string* kp : live) {
+    const Location& loc = index_.at(*kp);
+    Segment* src = segment_locked(loc.segment);
+    if (src == nullptr) {
+      throw std::logic_error("AccountStore: index points at missing segment");
+    }
+    Bytes value = src->read(loc.offset, loc.length).value;
+    Segment* dst = roll();
+    if (dst == nullptr) {
+      // Could not create output segments: abandon, unlink partial output.
+      for (auto& seg : fresh) seg->remove();
+      rep.segments_after = segments_.size();
+      return rep;
+    }
+    auto offset = dst->append(kFrameRecord, loc.version, *kp, value, false);
+    if (!offset) {
+      for (auto& seg : fresh) seg->remove();
+      rep.segments_after = segments_.size();
+      return rep;
+    }
+    Location nloc;
+    nloc.segment = dst->id();
+    nloc.offset = *offset;
+    nloc.length = loc.length;
+    nloc.version = loc.version;
+    new_index.emplace(*kp, nloc);
+    new_live_bytes += nloc.length;
+  }
+  // The new segments must be durable before the old ones disappear.
+  for (auto& seg : fresh) seg->sync();
+
+  // Handle the empty-store edge: always leave at least one active segment.
+  if (fresh.empty()) {
+    auto seg = Segment::create(dir_, next_segment_id_);
+    if (!seg) {
+      rep.segments_after = segments_.size();
+      return rep;
+    }
+    ++next_segment_id_;
+    fresh.push_back(std::move(seg));
+  }
+
+  // Phase 2: unlink old segments oldest-first. A crash mid-way leaves a
+  // suffix of old segments + all new ones; new frames carry versions >= any
+  // old frame for the same key, so replay still converges to this state.
+  // Oldest-first matters for dropped tombstones: a tombstone's frame lives
+  // in a segment no older than the record frames it suppresses, so the
+  // records die before the tombstone does.
+  for (auto& seg : segments_) seg->remove();
+  segments_ = std::move(fresh);
+  index_ = std::move(new_index);
+  live_bytes_ = new_live_bytes;
+  dead_bytes_ = 0;
+  tombstones_ = 0;
+  ++compactions_;
+
+  rep.segments_after = segments_.size();
+  rep.live_records = index_.size();
+  uint64_t bytes_after = 0;
+  for (const auto& seg : segments_) bytes_after += seg->size_bytes();
+  rep.reclaimed_bytes = bytes_before > bytes_after ? bytes_before - bytes_after : 0;
+
+  obs::count(obs::kStoreCompactions);
+  obs::observe(obs::kStoreCompactNs, now_ns() - t0);
+  return rep;
+}
+
+bool AccountStore::self_check() const {
+  std::lock_guard lk(mu_);
+  // Re-derive the index from disk exactly the way open() would and compare.
+  std::unordered_map<std::string, Location> disk;
+  size_t disk_tombstones = 0;
+  for (const auto& seg : segments_) {
+    seg->scan([&](const Frame& f) {
+      Location loc;
+      loc.segment = seg->id();
+      loc.offset = f.offset;
+      loc.length = f.length;
+      loc.version = f.version;
+      loc.tombstone = (f.type == kFrameTombstone);
+      auto it = disk.find(f.key);
+      if (it == disk.end() || f.version >= it->second.version) {
+        if (it != disk.end() && it->second.tombstone) --disk_tombstones;
+        disk[f.key] = loc;
+        if (loc.tombstone) ++disk_tombstones;
+      }
+    });
+  }
+  if (disk.size() != index_.size() || disk_tombstones != tombstones_) {
+    return false;
+  }
+  for (const auto& [k, loc] : index_) {
+    auto it = disk.find(k);
+    if (it == disk.end()) return false;
+    const Location& d = it->second;
+    if (d.segment != loc.segment || d.offset != loc.offset ||
+        d.length != loc.length || d.version != loc.version ||
+        d.tombstone != loc.tombstone) {
+      return false;
+    }
+    if (!loc.tombstone) {
+      Segment* seg = segment_locked(loc.segment);
+      if (seg == nullptr) return false;
+      try {
+        (void)seg->read(loc.offset, loc.length);  // throws on bad checksum
+      } catch (const std::exception&) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace hcpp::store

@@ -1,0 +1,163 @@
+// Log-structured, memory-mapped persistent account store (ROADMAP item 2).
+//
+// The S-server's accounts used to live purely in std::map — sized for unit
+// tests, gone on the first crash. This module gives the hospital tier a
+// durable backing store without dragging in an external database:
+//
+//   * append-only segment files (segment.h) — length-prefixed, checksummed
+//     frames; the only writes are appends and recovery's torn-tail
+//     truncation, so a crash can never corrupt previously-acked records;
+//   * an in-memory hash index from key (pseudonym/collection) to the latest
+//     frame's (segment, offset, length) — one read per get, O(1) lookup;
+//   * versioned replay — every mutation carries a store-wide monotone
+//     version, and recovery keeps the highest version per key, which is
+//     what makes compaction crash-safe (see below);
+//   * crash-safe recover() — segments replay in id order, the newest
+//     segment's torn tail is truncated, foreign/corrupt bytes never parse
+//     into records (each frame re-validates its SHA-256 commitment);
+//   * compaction — live records are rewritten into fresh segments (ids
+//     strictly above every existing segment), then the old segments are
+//     unlinked oldest-first. A crash anywhere in between leaves a union of
+//     old and new frames whose version-max replay is state-identical, and
+//     oldest-first deletion guarantees a tombstone's frame always outlives
+//     the older record frames it suppresses, so tombstones can be dropped
+//     at compaction without resurrecting deleted keys.
+//
+// Durability model matches src/ledger: append() hands the frame to the OS
+// (write(2)) before the in-memory index mutates; StoreOptions::fsync adds
+// fdatasync per append for machine-crash durability. The class is internally
+// synchronized (one coarse mutex; sealed-segment reads are memcpys out of
+// the page cache), so the load harness can drive one store from many
+// closed-loop clients.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/store/segment.h"
+
+namespace hcpp::store {
+
+struct StoreOptions {
+  /// Roll to a fresh segment once the active one exceeds this many bytes.
+  uint64_t segment_bytes = 8ull << 20;
+  /// fdatasync every append (true machine-crash durability; default mirrors
+  /// the ledger WAL's flush-only process-crash model).
+  bool fsync = false;
+};
+
+/// What open() found while replaying the segment files.
+struct StoreRecoveryReport {
+  size_t segments = 0;         // segment files replayed
+  size_t records = 0;          // record frames surviving version-max replay
+  size_t tombstones = 0;       // live tombstones (deleted keys)
+  uint64_t torn_bytes = 0;     // bytes discarded from the newest segment
+  bool tail_discarded = false;
+  uint64_t last_version = 0;   // highest version seen (== mutations acked)
+};
+
+struct StoreStats {
+  size_t segments = 0;
+  size_t live_records = 0;   // keys with a current value
+  size_t tombstones = 0;     // deleted keys still occupying a frame
+  uint64_t live_bytes = 0;   // frame bytes the index points at
+  uint64_t dead_bytes = 0;   // superseded/dropped frame bytes
+  uint64_t total_bytes = 0;  // sum of segment file sizes
+  uint64_t last_version = 0;
+  uint64_t compactions = 0;
+};
+
+struct CompactionReport {
+  size_t segments_before = 0;
+  size_t segments_after = 0;
+  uint64_t reclaimed_bytes = 0;  // total_bytes shrink
+  size_t live_records = 0;       // records carried into the new segments
+  size_t tombstones_dropped = 0;
+};
+
+// ---------------------------------------------------------------------------
+class AccountStore {
+ public:
+  /// An unopened store; every accessor reports empty and mutations fail.
+  AccountStore() = default;
+  AccountStore(AccountStore&&) noexcept;
+  AccountStore& operator=(AccountStore&&) noexcept;
+  AccountStore(const AccountStore&) = delete;
+  AccountStore& operator=(const AccountStore&) = delete;
+  ~AccountStore();
+
+  /// Opens (creating the directory if needed) and recovers the store at
+  /// `dir`: replays every segment in id order keeping the highest version
+  /// per key, truncates the newest segment's torn tail, and leaves the
+  /// newest segment active for appends.
+  static AccountStore open(const std::string& dir, StoreOptions options = {},
+                           StoreRecoveryReport* report = nullptr);
+
+  [[nodiscard]] bool is_open() const noexcept { return !dir_.empty(); }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Durably appends (key → value); the index mutates only after the frame
+  /// reached the OS. Returns false on I/O failure (state unchanged).
+  bool put(std::string_view key, BytesView value);
+  /// Durably appends a tombstone. Returns false when the key is absent.
+  bool erase(std::string_view key);
+  /// Latest value, or nullopt for absent/deleted keys.
+  [[nodiscard]] std::optional<Bytes> get(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  /// Live (non-tombstoned) key count.
+  [[nodiscard]] size_t size() const;
+  [[nodiscard]] std::vector<std::string> keys() const;
+  /// Visits every live record (hydration path). Reads happen under the
+  /// store lock; `fn` must not reenter the store.
+  void for_each(const std::function<void(const std::string& key,
+                                         const Bytes& value)>& fn) const;
+
+  [[nodiscard]] StoreStats stats() const;
+
+  /// Folds dead versions away: rewrites live records into fresh segments,
+  /// drops tombstones, unlinks old segments oldest-first. Safe against a
+  /// crash at any point (see file comment). No-op on an unopened store.
+  CompactionReport compact();
+
+  /// Full offline verification: re-scans every segment from disk and checks
+  /// the surviving state matches the in-memory index byte-for-byte. Slow;
+  /// meant for the CLI / tests, not the serving path.
+  [[nodiscard]] bool self_check() const;
+
+ private:
+  struct Location {
+    uint32_t segment = 0;
+    uint64_t offset = 0;
+    uint32_t length = 0;
+    uint64_t version = 0;
+    bool tombstone = false;
+  };
+
+  Segment* active_locked();
+  Segment* segment_locked(uint32_t id) const;
+  bool append_locked(uint8_t type, std::string_view key, BytesView value);
+  void account_replace_locked(const std::string& key, const Location& loc);
+
+  std::string dir_;
+  StoreOptions options_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Segment>> segments_;  // ascending by id
+  std::unordered_map<std::string, Location> index_;  // records + tombstones
+  uint64_t next_version_ = 1;
+  uint32_t next_segment_id_ = 0;
+  uint64_t live_bytes_ = 0;
+  uint64_t dead_bytes_ = 0;
+  size_t tombstones_ = 0;
+  uint64_t compactions_ = 0;
+};
+
+}  // namespace hcpp::store

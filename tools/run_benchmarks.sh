@@ -15,6 +15,13 @@
 #                           without the WAL, chain verify, recovery replay,
 #                           Merkle proofs/s; proof-verify latency p50/p95/p99
 #                           sourced from the obs histogram)
+#   BENCH_load.json       — bench_load (closed/open-loop mixed traffic over
+#                           the sharded persistent account store + SEARCH
+#                           front-end: p50/p95/p99 per QPS point from the obs
+#                           load.*_ns histograms, plus the post-run
+#                           differential-oracle verdict). Population size
+#                           defaults to 100000 accounts; BENCH_LOAD_ACCOUNTS
+#                           shrinks it for smoke runs.
 #
 # Usage: tools/run_benchmarks.sh [build-dir]
 # Always configures the bench build directory with an explicit optimized
@@ -53,9 +60,10 @@ cmake -B "$build_dir" -S "$repo_root" -DHCPP_BENCH=ON \
   -DCMAKE_BUILD_TYPE="$build_type"
 cmake --build "$build_dir" -j "$(nproc)" \
   --target bench_computation bench_protocols bench_throughput bench_ledger \
-           hcpp_cpuinfo
+           bench_load hcpp_cpuinfo
 
-for bin in bench_computation bench_protocols bench_throughput bench_ledger; do
+for bin in bench_computation bench_protocols bench_throughput bench_ledger \
+           bench_load; do
   if [[ ! -x "$build_dir/bench/$bin" ]]; then
     echo "error: $build_dir/bench/$bin still missing after the build" \
          "(HCPP_BENCH=OFF in the cache?)" >&2
@@ -177,3 +185,29 @@ if report.get("proof_verify_latency_ns", {}).get("count", 0) == 0:
 EOF
 inject_cpuinfo "$repo_root/BENCH_ledger.json"
 echo "wrote $repo_root/BENCH_ledger.json"
+
+# bench_load writes its own JSON; same debug-build guard, plus the
+# differential-oracle verdict: a run whose store diverged from the oracle
+# map exits non-zero and its report is refused.
+load_accounts="${BENCH_LOAD_ACCOUNTS:-100000}"
+"$build_dir/bench/bench_load" --accounts="$load_accounts" \
+  --json-out="$repo_root/BENCH_load.json"
+python3 - "$repo_root/BENCH_load.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    report = json.load(f)
+build = report.get("context", {}).get("library_build_type", "missing")
+if build != "release":
+    import os
+    os.unlink(path)
+    sys.exit(f"error: load report says library_build_type={build!r}; "
+             "refusing to keep numbers from a non-optimized build")
+if not report.get("oracle", {}).get("pass", False):
+    import os
+    os.unlink(path)
+    sys.exit("error: load report's differential oracle failed; the store "
+             "diverged from the expected contents")
+EOF
+inject_cpuinfo "$repo_root/BENCH_load.json"
+echo "wrote $repo_root/BENCH_load.json"

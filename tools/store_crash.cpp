@@ -1,0 +1,166 @@
+// Crash-recovery driver for the persistent account store (src/store), built
+// for the CI crash-recovery job: a writer process is SIGKILLed mid-workload
+// and the survivor must satisfy the differential oracle — the recovered
+// last_version says exactly how many deterministic ops became durable, and
+// replaying that many into a plain map must reproduce the store byte for
+// byte (prefix consistency: no holes, no reordering, no partial frames).
+//
+//   hcpp_store_crash workload <dir> [--ops=N]   append the deterministic
+//                                               sequence (as a victim child)
+//   hcpp_store_crash verify <dir>               recover + oracle-check
+//   hcpp_store_crash kill-loop <dir> [--rounds=N]
+//                                               fork workload, SIGKILL it at
+//                                               a varying delay, verify; N
+//                                               rounds (default 5)
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "src/common/serialize.h"
+#include "src/hash/sha256.h"
+#include "src/store/store.h"
+
+using namespace hcpp;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Deterministic op i (1-based): both the workload and the verifier derive
+// it independently, so no state crosses the kill boundary except the log.
+// Every 19th op is a delete, re-put later — so recovery must get tombstone
+// replay right, not just appends.
+std::string op_key(uint64_t i) { return "acct-" + std::to_string(i % 211); }
+
+Bytes op_value(uint64_t i) {
+  io::Writer w;
+  w.str("store-crash-value");
+  w.u64(i);
+  return hash::sha256_bytes(w.data());
+}
+
+bool op_is_erase(uint64_t i) { return i % 19 == 0; }
+
+int run_workload(const std::string& dir, uint64_t ops) {
+  try {
+    store::StoreOptions opt;
+    opt.segment_bytes = 64 * 1024;  // frequent rolls while being killed
+    store::AccountStore st = store::AccountStore::open(dir, opt);
+    for (uint64_t i = 1; i <= ops; ++i) {
+      if (op_is_erase(i)) {
+        st.erase(op_key(i));  // may be absent: still burns version i
+      } else if (!st.put(op_key(i), op_value(i))) {
+        return 2;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "workload: %s\n", e.what());
+    return 3;
+  }
+  return 0;
+}
+
+int run_verify(const std::string& dir) {
+  store::StoreRecoveryReport rec;
+  store::AccountStore st = store::AccountStore::open(dir, {}, &rec);
+  uint64_t m = rec.last_version;
+  // Replay ops until exactly m versions have burned. An erase of an absent
+  // key appends nothing (no version), so it is skipped here exactly as the
+  // store skipped it; trailing no-op erases past the cut change nothing.
+  std::map<std::string, Bytes> oracle;
+  for (uint64_t i = 1, burned = 0; burned < m; ++i) {
+    if (op_is_erase(i)) {
+      if (oracle.erase(op_key(i)) > 0) ++burned;
+    } else {
+      oracle[op_key(i)] = op_value(i);
+      ++burned;
+    }
+  }
+  size_t mismatches = 0;
+  if (st.size() != oracle.size()) ++mismatches;
+  for (const auto& [k, v] : oracle) {
+    auto got = st.get(k);
+    if (!got.has_value() || *got != v) {
+      std::fprintf(stderr, "verify: key %s diverges\n", k.c_str());
+      ++mismatches;
+    }
+  }
+  bool frames_ok = st.self_check();
+  std::printf("verify %s: %llu durable op(s), %zu live key(s), "
+              "%zu mismatch(es), frames %s, torn %llu byte(s)%s\n",
+              dir.c_str(), static_cast<unsigned long long>(m), st.size(),
+              mismatches, frames_ok ? "ok" : "CORRUPT",
+              static_cast<unsigned long long>(rec.torn_bytes),
+              rec.tail_discarded ? " (tail truncated)" : "");
+  return (mismatches == 0 && frames_ok) ? 0 : 1;
+}
+
+int run_kill_loop(const std::string& dir, int rounds) {
+  for (int round = 0; round < rounds; ++round) {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) _exit(run_workload(dir, 2000000));
+    // Kill at a growing delay so successive rounds die in different phases
+    // (first segment, mid-roll, deep into the log).
+    ::usleep(15000 + 23000 * round);
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid || !WIFSIGNALED(status)) {
+      std::fprintf(stderr, "round %d: child was not killed as expected "
+                   "(status %d)\n", round, status);
+      return 1;
+    }
+    int rc = run_verify(dir);
+    if (rc != 0) {
+      std::fprintf(stderr, "round %d: verification FAILED\n", round);
+      return rc;
+    }
+    std::printf("round %d: ok\n", round);
+  }
+  fs::remove_all(dir);
+  return 0;
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: hcpp_store_crash workload <dir> [--ops=N]\n"
+               "       hcpp_store_crash verify <dir>\n"
+               "       hcpp_store_crash kill-loop <dir> [--rounds=N]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  std::string cmd = argv[1];
+  std::string dir = argv[2];
+  if (cmd == "workload") {
+    uint64_t ops = 2000000;
+    if (argc > 3 && std::strncmp(argv[3], "--ops=", 6) == 0) {
+      ops = std::strtoull(argv[3] + 6, nullptr, 10);
+    }
+    return run_workload(dir, ops);
+  }
+  if (cmd == "verify") return run_verify(dir);
+  if (cmd == "kill-loop") {
+    int rounds = 5;
+    if (argc > 3 && std::strncmp(argv[3], "--rounds=", 9) == 0) {
+      rounds = std::atoi(argv[3] + 9);
+    }
+    return run_kill_loop(dir, rounds);
+  }
+  usage();
+}
