@@ -147,6 +147,29 @@ Bytes variant_value(const Bytes& templ, uint32_t v) {
   return w.take();
 }
 
+/// The store key of update-log frame v against a population account — same
+/// "#l/<label>" shape SServer::store_put_log appends (DESIGN.md §12), with a
+/// synthetic label derived from the op counter.
+std::string update_log_key(uint64_t acct, uint32_t v) {
+  io::Writer w;
+  w.str("load-log-label");
+  w.u64(acct);
+  w.u32(v);
+  return population_key(acct) + "#l/" +
+         hex_encode(hash::sha256_bytes(w.data())).substr(0, 32);
+}
+
+/// The 41-byte log-entry payload for frame v (op ‖ fid ‖ prev-state shape).
+Bytes update_log_value(uint32_t v) {
+  io::Writer w;
+  w.str("load-log-entry");
+  w.u32(v);
+  Bytes entry = hash::sha256_bytes(w.data());
+  Bytes tail = hash::sha256_bytes(entry);
+  entry.insert(entry.end(), tail.begin(), tail.begin() + 9);
+  return entry;  // 41 bytes, like sse::kLogEntrySize
+}
+
 struct Pct {
   uint64_t count = 0;
   double p50 = 0, p95 = 0, p99 = 0, max = 0;
@@ -170,14 +193,15 @@ struct OpenRow {
   double qps_achieved = 0;
   size_t ops = 0;
   Pct all;  // load.op_ns
-  Pct store, search, retrieve, emergency;
+  Pct store, update, search, retrieve, emergency;
 };
 
 struct ClosedRow {
   size_t clients = 0;
   size_t ops = 0;
   double ops_per_sec = 0;
-  Pct store_put, store_get, search;
+  double update_ops_per_sec = 0;
+  Pct store_put, update, store_get, search;
 };
 
 struct OracleReport {
@@ -233,9 +257,12 @@ void write_json(const Args& args, size_t template_bytes,
   std::fprintf(f,
                "  \"closed_loop\": {\n"
                "    \"clients\": %zu,\n    \"ops\": %zu,\n"
-               "    \"ops_per_sec\": %.1f,\n    \"latency\": {\n",
-               closed.clients, closed.ops, closed.ops_per_sec);
+               "    \"ops_per_sec\": %.1f,\n"
+               "    \"update_ops_per_sec\": %.1f,\n    \"latency\": {\n",
+               closed.clients, closed.ops, closed.ops_per_sec,
+               closed.update_ops_per_sec);
   json_pct(f, "store_put", closed.store_put, true);
+  json_pct(f, "update", closed.update, true);
   json_pct(f, "store_get", closed.store_get, true);
   json_pct(f, "search", closed.search, false);
   std::fprintf(f, "    }\n  },\n  \"open_loop\": [\n");
@@ -250,6 +277,7 @@ void write_json(const Args& args, size_t template_bytes,
                  r.qps_target, r.qps_achieved, r.ops, r.all.p50 / 1e3,
                  r.all.p95 / 1e3, r.all.p99 / 1e3, r.all.max / 1e3);
     json_pct(f, "store", r.store, true);
+    json_pct(f, "update", r.update, true);
     json_pct(f, "search", r.search, true);
     json_pct(f, "retrieve", r.retrieve, true);
     json_pct(f, "emergency", r.emergency, false);
@@ -385,9 +413,11 @@ int main(int argc, char** argv) {
     hot_keywords.push_back(kw);
   }
 
-  // Differential oracle: population key index -> latest variant written.
+  // Differential oracle: population key index -> latest variant written,
+  // plus every update-log frame appended (append-only, never overwritten).
   std::mutex oracle_mu;
   std::map<uint64_t, uint32_t> oracle;
+  std::map<uint64_t, std::vector<uint32_t>> log_oracle;
   std::atomic<uint32_t> next_variant{1};
 
   // ---- Closed loop: threads hammer the thread-safe paths ----------------
@@ -415,7 +445,7 @@ int main(int argc, char** argv) {
           size_t shard =
               store::shard_for_key(population_key(acct), args.shards);
           auto t_op = Clock::now();
-          if (dice < 90) {  // put (35%)
+          if (dice < 64) {  // put (25%): whole-account re-upload
             uint32_t v = next_variant.fetch_add(1);
             if (!pop[shard].put(population_key(acct),
                                 variant_value(templ, v))) {
@@ -426,6 +456,17 @@ int main(int argc, char** argv) {
                          static_cast<double>(ns_since(t_op)));
             std::lock_guard<std::mutex> lock(oracle_mu);
             oracle[acct] = v;
+          } else if (dice < 90) {  // update (10%): O(delta) log-frame append
+            uint32_t v = next_variant.fetch_add(1);
+            if (!pop[shard].put(update_log_key(acct, v),
+                                update_log_value(v))) {
+              ok.store(false);
+              return;
+            }
+            obs::observe(obs::kLoadUpdateNs,
+                         static_cast<double>(ns_since(t_op)));
+            std::lock_guard<std::mutex> lock(oracle_mu);
+            log_oracle[acct].push_back(v);
           } else if (dice < 205) {  // get (45%)
             auto got = pop[shard].get(population_key(acct));
             obs::observe(obs::kLoadRetrieveNs,
@@ -456,10 +497,15 @@ int main(int argc, char** argv) {
     obs::Snapshot diff = reg.snapshot();
     obs::attach(nullptr);
     closed.store_put = pct_of(diff, obs::kLoadStoreNs);
+    closed.update = pct_of(diff, obs::kLoadUpdateNs);
     closed.store_get = pct_of(diff, obs::kLoadRetrieveNs);
     closed.search = pct_of(diff, obs::kLoadSearchNs);
-    std::printf("closed loop: %.0f ops/s\n", closed.ops_per_sec);
+    closed.update_ops_per_sec =
+        static_cast<double>(closed.update.count) / secs;
+    std::printf("closed loop: %.0f ops/s (update ops/s: %.0f)\n",
+                closed.ops_per_sec, closed.update_ops_per_sec);
     print_pct("store_put", closed.store_put);
+    print_pct("update", closed.update);
     print_pct("store_get", closed.store_get);
     print_pct("search", closed.search);
   }
@@ -484,8 +530,8 @@ int main(int argc, char** argv) {
       for (uint8_t b : rng.bytes(8)) acct = (acct << 8) | b;
       size_t hot_i = acct % hot.size();
       acct %= args.accounts;
-      // Mix: 30% store, 30% search, 25% retrieve, 15% emergency.
-      if (dice < 77) {
+      // Mix: 20% store, 10% update, 30% search, 25% retrieve, 15% emergency.
+      if (dice < 51) {
         size_t shard = store::shard_for_key(population_key(acct), args.shards);
         uint32_t v = next_variant.fetch_add(1);
         if (!pop[shard].put(population_key(acct), variant_value(templ, v))) {
@@ -499,6 +545,27 @@ int main(int argc, char** argv) {
                 .count());
         obs::observe(obs::kLoadStoreNs, lat);
         obs::observe(obs::kLoadOpNs, lat);
+      } else if (dice < 77) {
+        // §12 UPDATE: re-upload one edited file through the real protocol —
+        // O(delta) forward-private log inserts + one blob, no index rebuild
+        // (before this op existed, "store" re-uploaded the whole account).
+        core::Patient& p = *hot[hot_i];
+        sse::PlainFile f = p.files().front();
+        io::Writer w;
+        w.str("load-edited-body");
+        w.u32(next_variant.fetch_add(1));
+        f.content = hash::sha256_bytes(w.data());
+        auto res = p.try_update_phi(group, {std::move(f)});
+        double lat = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 arrival)
+                .count());
+        obs::observe(obs::kLoadUpdateNs, lat);
+        obs::observe(obs::kLoadOpNs, lat);
+        if (!res.ok()) {
+          std::fprintf(stderr, "error: open-loop update failed\n");
+          return 1;
+        }
       } else if (dice < 154) {
         auto res = service.search(hot_queries[hot_i]);
         double lat = static_cast<double>(
@@ -549,6 +616,7 @@ int main(int argc, char** argv) {
     obs::attach(nullptr);
     row.all = pct_of(diff, obs::kLoadOpNs);
     row.store = pct_of(diff, obs::kLoadStoreNs);
+    row.update = pct_of(diff, obs::kLoadUpdateNs);
     row.search = pct_of(diff, obs::kLoadSearchNs);
     row.retrieve = pct_of(diff, obs::kLoadRetrieveNs);
     row.emergency = pct_of(diff, obs::kLoadEmergencyNs);
@@ -556,6 +624,7 @@ int main(int argc, char** argv) {
                 row.qps_achieved);
     print_pct("all", row.all);
     print_pct("store", row.store);
+    print_pct("update", row.update);
     print_pct("search", row.search);
     print_pct("retrieve", row.retrieve);
     print_pct("emergency", row.emergency);
@@ -572,6 +641,17 @@ int main(int argc, char** argv) {
     auto got = pop[shard].get(key);
     ++orep.checked;
     if (!got.has_value() || *got != variant_value(templ, v)) ++orep.mismatches;
+  }
+  // Every update-log frame the closed loop appended must read back intact
+  // (append-only: a frame is never overwritten by later traffic).
+  for (const auto& [acct, frames] : log_oracle) {
+    orep.mutated += frames.size();
+    size_t shard = store::shard_for_key(population_key(acct), args.shards);
+    for (uint32_t v : frames) {
+      auto got = pop[shard].get(update_log_key(acct, v));
+      ++orep.checked;
+      if (!got.has_value() || *got != update_log_value(v)) ++orep.mismatches;
+    }
   }
   // Untouched sample: every 97th account that the workload never wrote must
   // still serve the pristine template bytes.

@@ -15,6 +15,10 @@
 //   store stats               segment/record/byte counts of the attached store
 //   store compact             fold dead versions into fresh segments
 //   store verify              self-check frames + map/store differential oracle
+//   sse add <name> <kw...>    §12 dynamic UPDATE: add one file, O(delta)
+//   sse del <id>              §12 dynamic UPDATE: tombstone one file id
+//   sse compact               fold the update log into a fresh packed index
+//   sse stats                 update-chain epoch / counters / pending entries
 //   keywords                  list the patient's keyword dictionary
 //   retrieve <kw>             §IV.D common-case retrieval
 //   family <kw>               §IV.E.1 family emergency retrieval
@@ -116,6 +120,78 @@ void cmd_store_sub(Deployment& d, const std::string& sub,
   } else {
     std::printf("usage: store <n> | store attach <dir>|stats|compact|"
                 "verify\n");
+  }
+}
+
+// `sse add|del|compact|stats` — the DESIGN.md §12 dynamic forward-private
+// update layer: per-file changes land as O(delta) log inserts instead of
+// re-running `store <n>`'s whole-account upload.
+void cmd_sse(Deployment& d, std::istringstream& in) {
+  std::string sub;
+  in >> sub;
+  if (sub == "add") {
+    std::string name;
+    in >> name;
+    std::vector<std::string> kws;
+    std::string kw;
+    while (in >> kw) kws.push_back(kw);
+    if (name.empty()) {
+      std::printf("usage: sse add <name> [kw...]\n");
+      return;
+    }
+    if (kws.empty()) kws.push_back("category:general");
+    sse::FileId id =
+        d.patient->files().empty() ? 1 : d.patient->files().back().id + 1;
+    std::string body = "PHI body of " + name;
+    sse::PlainFile f{id, name, Bytes(body.begin(), body.end()), kws};
+    bool ok = d.patient->update_phi(*d.sserver, {std::move(f)});
+    std::printf("UPDATE add file %llu '%s' (%zu keyword(s)) -> %s\n",
+                static_cast<unsigned long long>(id), name.c_str(), kws.size(),
+                ok ? "ok" : "FAILED");
+  } else if (sub == "del") {
+    uint64_t id = 0;
+    if (!(in >> id)) {
+      std::printf("usage: sse del <file-id>\n");
+      return;
+    }
+    std::vector<sse::FileId> rm = {id};
+    bool ok = d.patient->update_phi(*d.sserver, {}, rm);
+    std::printf("UPDATE delete file %llu -> %s\n",
+                static_cast<unsigned long long>(id), ok ? "ok" : "FAILED");
+  } else if (sub == "compact") {
+    const sse::UpdateState& st = d.patient->update_state();
+    uint64_t pending = 0;
+    for (const auto& [kw, c] : st.counters) pending += c;
+    bool ok = d.patient->compact_phi(*d.sserver);
+    std::printf("COMPACT folded %llu log entr%s -> %s (epoch now %llu)\n",
+                static_cast<unsigned long long>(pending),
+                pending == 1 ? "y" : "ies", ok ? "ok" : "FAILED",
+                static_cast<unsigned long long>(
+                    d.patient->update_state().epoch));
+  } else if (sub == "stats") {
+    const sse::UpdateState& st = d.patient->update_state();
+    uint64_t pending = 0;
+    for (const auto& [kw, c] : st.counters) pending += c;
+    std::printf("update chains: epoch %llu, %zu keyword(s) with pending "
+                "entries, %llu log entr%s since last compaction; %zu file(s) "
+                "total\n",
+                static_cast<unsigned long long>(st.epoch), st.counters.size(),
+                static_cast<unsigned long long>(pending),
+                pending == 1 ? "y" : "ies", d.patient->files().size());
+    obs::Snapshot snap = obs::global().snapshot();
+    std::printf("lifetime: %llu ADDs, %llu DELETEs, %llu dynamic searches, "
+                "%llu compaction(s)\n",
+                static_cast<unsigned long long>(
+                    snap.counter(obs::kSseUpdateAdd)),
+                static_cast<unsigned long long>(
+                    snap.counter(obs::kSseUpdateDelete)),
+                static_cast<unsigned long long>(
+                    snap.counter(obs::kSseDynSearch)),
+                static_cast<unsigned long long>(
+                    snap.counter(obs::kSseCompactions)));
+  } else {
+    std::printf("usage: sse add <name> [kw...] | sse del <id> | "
+                "sse compact | sse stats\n");
   }
 }
 
@@ -366,6 +442,8 @@ int main() {
         } else {
           cmd_store_sub(d, arg, in);
         }
+      } else if (cmd == "sse") {
+        cmd_sse(d, in);
       } else if (cmd == "keywords") {
         for (const std::string& kw : d.all_keywords()) {
           std::printf("  %s\n", kw.c_str());
@@ -412,6 +490,7 @@ int main() {
       } else if (cmd == "help") {
         std::printf(
             "store <n> | store attach <dir>|stats|compact|verify | "
+            "sse add <name> [kw...]|del <id>|compact|stats | "
             "keywords | retrieve <kw> | family <kw> | "
             "emergency <dr> <kw> | onduty <dr> on|off | revoke "
             "family|pdevice | audit | ledger verify|proof <seq>|anchor|show "

@@ -83,9 +83,20 @@ Result<std::vector<sse::PlainFile>> privileged_retrieve(
   size_t alias_slot = static_cast<size_t>(net.clock().now() / 1000) %
                       std::max<uint32_t>(1, pb.alias_count);
   sse::TrapdoorGen gen(pb.keys);  // one key schedule for the keyword batch
+  std::optional<sse::Updater> up;  // for keywords updated before the ASSIGN
   for (const std::string& kw : keywords) {
-    req2.wrapped_trapdoors.push_back(
-        sse::wrap_trapdoor(*d, gen.make(keyword_alias(kw, alias_slot))));
+    std::string alias = keyword_alias(kw, alias_slot);
+    auto cit = pb.update_state.counters.find(alias);
+    if (cit != pb.update_state.counters.end() && cit->second > 0) {
+      // The bundle's chain position covers updates up to the ASSIGN; later
+      // ones are underivable (forward privacy working as specified).
+      if (!up.has_value()) up.emplace(pb.keys, pb.update_state);
+      req2.wrapped_trapdoors.push_back(
+          sse::wrap_dyn_trapdoor(*d, up->trapdoor(alias)));
+    } else {
+      req2.wrapped_trapdoors.push_back(
+          sse::wrap_trapdoor(*d, gen.make(alias)));
+    }
   }
   req2.t = net.clock().now();
   req2.mac = protocol_mac(pb.nu, kPrivLabel, req2.body(), req2.t);
@@ -188,17 +199,12 @@ std::optional<RetrieveResponse> SServer::handle_privileged_retrieve(
   if (acct == nullptr) return std::nullopt;
 
   obs::Span lookup("sse:lookup");
-  std::set<sse::FileId> matched;
-  // Batch θ_d^{-1}: one Feistel key schedule across the whole request. The
-  // embedded validity tag rejects stale-d submissions per trapdoor.
-  std::vector<std::optional<sse::Trapdoor>> tds =
-      sse::unwrap_trapdoors(acct->d, req.wrapped_trapdoors);
-  for (const std::optional<sse::Trapdoor>& td : tds) {
-    if (!td.has_value()) continue;
-    for (sse::FileId id : sse::search(acct->index, *td)) matched.insert(id);
-  }
+  // Batch θ_d^{-1}: one Feistel key schedule per trapdoor width across the
+  // whole request. The embedded validity tag rejects stale-d submissions
+  // per trapdoor; dynamic (100-byte) widths also walk the update log.
   RetrieveResponse resp;
-  for (sse::FileId id : matched) {
+  for (sse::FileId id : sse::search_wrapped_mixed(
+           *acct->index, acct->log, acct->d, req.wrapped_trapdoors)) {
     auto it = acct->files.files.find(id);
     if (it != acct->files.files.end()) resp.files.emplace_back(id, it->second);
   }

@@ -86,8 +86,13 @@ std::map<std::string, AccountSnapshot> SServer::snapshot_accounts() const {
   std::map<std::string, AccountSnapshot> out;
   for (const auto& [key, acct] : accounts_) {
     AccountSnapshot snap;
-    snap.index = std::make_shared<const sse::SecureIndex>(acct.index);
+    // The packed index is immutable between whole-index writes, so the
+    // snapshot shares it; only the (small) mutable parts — file blobs and
+    // the update log — are copied. A republish after an UPDATE is therefore
+    // O(delta state), not O(index).
+    snap.index = acct.index;
     snap.files = std::make_shared<const sse::EncryptedCollection>(acct.files);
+    snap.log = std::make_shared<const sse::UpdateLog>(acct.log);
     snap.d = acct.d;
     out.emplace(key, std::move(snap));
   }
@@ -113,41 +118,95 @@ std::vector<std::string> SServer::visible_account_ids() const {
   return out;
 }
 
-Bytes SServer::account_to_bytes(const Account& acct) {
+std::string SServer::file_record_key(const std::string& key, sse::FileId id) {
+  Bytes fid(8);
+  for (int i = 7; i >= 0; --i) {
+    fid[static_cast<size_t>(i)] = static_cast<uint8_t>(id);
+    id >>= 8;
+  }
+  return key + "#f/" + hex_encode(fid);
+}
+
+std::string SServer::log_record_key(const std::string& key,
+                                    const std::string& label) {
+  return key + "#l/" + label;
+}
+
+Bytes SServer::account_base_bytes(const Account& acct) {
   io::Writer w;
-  w.bytes(acct.index.to_bytes());
-  w.bytes(acct.files.to_bytes());
+  w.bytes(acct.index->to_bytes());
   w.bytes(acct.d);
   w.bytes(acct.be_blob);
   return w.take();
 }
 
-SServer::Account SServer::account_from_bytes(BytesView b) {
-  io::Reader r(b);
-  Account acct;
-  acct.index = sse::SecureIndex::from_bytes(r.bytes());
-  acct.files = sse::EncryptedCollection::from_bytes(r.bytes());
-  acct.d = r.bytes();
-  acct.be_blob = r.bytes();
-  if (!r.done()) {
-    throw std::invalid_argument("SServer: trailing bytes in account record");
-  }
-  return acct;
-}
-
-void SServer::store_put(const std::string& key, const Account& acct) {
-  if (!store_.is_open()) return;
-  if (!store_.put(key, account_to_bytes(acct))) {
+void SServer::store_put_checked(const std::string& key, BytesView value) {
+  if (!store_.put(key, Bytes(value.begin(), value.end()))) {
     throw std::runtime_error("SServer: account write-through failed");
   }
 }
 
+void SServer::store_put_base(const std::string& key, const Account& acct) {
+  if (!store_.is_open()) return;
+  store_put_checked(key, account_base_bytes(acct));
+}
+
+void SServer::store_put_file(const std::string& key, sse::FileId id,
+                             BytesView blob) {
+  if (!store_.is_open()) return;
+  store_put_checked(file_record_key(key, id), blob);
+}
+
+void SServer::store_erase_file(const std::string& key, sse::FileId id) {
+  if (!store_.is_open()) return;
+  store_.erase(file_record_key(key, id));
+}
+
+void SServer::store_put_log(const std::string& key, const std::string& label,
+                            BytesView entry) {
+  if (!store_.is_open()) return;
+  store_put_checked(log_record_key(key, label), entry);
+}
+
+void SServer::store_put_all(const std::string& key, const Account& acct) {
+  if (!store_.is_open()) return;
+  store_put_base(key, acct);
+  for (const auto& [id, blob] : acct.files.files) {
+    store_put_file(key, id, blob);
+  }
+  for (const auto& [label, entry] : acct.log.entries) {
+    store_put_log(key, label, entry);
+  }
+}
+
+void SServer::store_erase_all(const std::string& key, const Account& acct) {
+  if (!store_.is_open()) return;
+  // Sub-records first, base last: a crash mid-erase leaves at worst a
+  // degraded-but-parseable base, never orphan sub-records.
+  for (const auto& [id, blob] : acct.files.files) store_erase_file(key, id);
+  for (const auto& [label, entry] : acct.log.entries) {
+    store_.erase(log_record_key(key, label));
+  }
+  store_.erase(key);
+}
+
 void SServer::store_replace_all() {
   if (!store_.is_open()) return;
-  for (const std::string& key : store_.keys()) {
-    if (!accounts_.contains(key)) store_.erase(key);
+  // Expected record set under the base/#f//#l/ layout.
+  std::set<std::string> want;
+  for (const auto& [key, acct] : accounts_) {
+    want.insert(key);
+    for (const auto& [id, blob] : acct.files.files) {
+      want.insert(file_record_key(key, id));
+    }
+    for (const auto& [label, entry] : acct.log.entries) {
+      want.insert(log_record_key(key, label));
+    }
   }
-  for (const auto& [key, acct] : accounts_) store_put(key, acct);
+  for (const std::string& key : store_.keys()) {
+    if (!want.contains(key)) store_.erase(key);
+  }
+  for (const auto& [key, acct] : accounts_) store_put_all(key, acct);
 }
 
 bool SServer::attach_store(const std::string& dir,
@@ -157,37 +216,103 @@ bool SServer::attach_store(const std::string& dir,
   } catch (const std::exception&) {
     return false;
   }
+  // Hydration: classify the surviving records into base / file / log piles
+  // (for_each order is not guaranteed), then assemble accounts base-first.
   // The durable copy wins for keys both sides know; accounts only the live
   // map has (e.g. a deployment populated before attaching) are written
   // through so the two ends match from here on.
+  std::map<std::string, Bytes> bases;
+  std::map<std::string, std::vector<std::pair<sse::FileId, Bytes>>> files;
+  std::map<std::string, std::vector<std::pair<std::string, Bytes>>> logs;
+  std::vector<std::string> orphans;
   try {
     store_.for_each([&](const std::string& key, const Bytes& value) {
-      accounts_[key] = account_from_bytes(value);
+      size_t f = key.rfind("#f/");
+      size_t l = key.rfind("#l/");
+      if (f != std::string::npos && (l == std::string::npos || f > l)) {
+        Bytes fid = hex_decode(key.substr(f + 3));
+        if (fid.size() != 8) throw std::invalid_argument("bad file record");
+        sse::FileId id = 0;
+        for (uint8_t b : fid) id = (id << 8) | b;
+        files[key.substr(0, f)].emplace_back(id, value);
+      } else if (l != std::string::npos) {
+        logs[key.substr(0, l)].emplace_back(key.substr(l + 3), value);
+      } else {
+        bases[key] = value;
+      }
     });
+    std::map<std::string, Account> recovered;
+    for (const auto& [key, base] : bases) {
+      io::Reader r(base);
+      Account acct;
+      acct.index = std::make_shared<const sse::SecureIndex>(
+          sse::SecureIndex::from_bytes(r.bytes()));
+      acct.d = r.bytes();
+      acct.be_blob = r.bytes();
+      if (!r.done()) {
+        throw std::invalid_argument("SServer: trailing bytes in base record");
+      }
+      if (auto it = files.find(key); it != files.end()) {
+        for (auto& [id, blob] : it->second) {
+          acct.files.files.emplace(id, std::move(blob));
+        }
+      }
+      if (auto it = logs.find(key); it != logs.end()) {
+        for (auto& [label, entry] : it->second) {
+          acct.log.entries.emplace(std::move(label), std::move(entry));
+        }
+      }
+      recovered.emplace(key, std::move(acct));
+    }
+    // Sub-records whose base is gone (crash mid-delete): drop them from the
+    // store rather than serving files no index reaches.
+    for (const auto& [key, recs] : files) {
+      if (bases.contains(key)) continue;
+      for (const auto& [id, blob] : recs) orphans.push_back(file_record_key(key, id));
+    }
+    for (const auto& [key, recs] : logs) {
+      if (bases.contains(key)) continue;
+      for (const auto& [label, entry] : recs) {
+        orphans.push_back(log_record_key(key, label));
+      }
+    }
+    for (auto& [key, acct] : recovered) accounts_[key] = std::move(acct);
   } catch (const std::exception&) {
     store_ = store::AccountStore();
     return false;
   }
+  for (const std::string& key : orphans) store_.erase(key);
   for (const auto& [key, acct] : accounts_) {
-    if (!store_.contains(key)) store_put(key, acct);
+    if (!store_.contains(key)) store_put_all(key, acct);
   }
   return true;
 }
 
 bool SServer::store_consistent() const {
   if (!store_.is_open()) return true;
-  if (store_.size() != accounts_.size()) return false;
+  size_t expected = 0;
   for (const auto& [key, acct] : accounts_) {
-    std::optional<Bytes> stored = store_.get(key);
-    if (!stored.has_value() || *stored != account_to_bytes(acct)) {
-      return false;
+    expected += 1 + acct.files.files.size() + acct.log.entries.size();
+  }
+  if (store_.size() != expected) return false;
+  for (const auto& [key, acct] : accounts_) {
+    std::optional<Bytes> base = store_.get(key);
+    if (!base.has_value() || *base != account_base_bytes(acct)) return false;
+    for (const auto& [id, blob] : acct.files.files) {
+      std::optional<Bytes> rec = store_.get(file_record_key(key, id));
+      if (!rec.has_value() || *rec != blob) return false;
+    }
+    for (const auto& [label, entry] : acct.log.entries) {
+      std::optional<Bytes> rec = store_.get(log_record_key(key, label));
+      if (!rec.has_value() || *rec != entry) return false;
     }
   }
   return true;
 }
 
 namespace {
-constexpr uint8_t kStateFormatVersion = 1;
+// v2: accounts carry the dynamic-SSE update log (DESIGN.md §12).
+constexpr uint8_t kStateFormatVersion = 2;
 }
 
 Bytes SServer::export_state() const {
@@ -196,8 +321,9 @@ Bytes SServer::export_state() const {
   w.u32(static_cast<uint32_t>(accounts_.size()));
   for (const auto& [key, acct] : accounts_) {
     w.str(key);
-    w.bytes(acct.index.to_bytes());
+    w.bytes(acct.index->to_bytes());
     w.bytes(acct.files.to_bytes());
+    w.bytes(acct.log.to_bytes());
     w.bytes(acct.d);
     w.bytes(acct.be_blob);
   }
@@ -216,12 +342,14 @@ bool SServer::import_state(BytesView state) {
     io::Reader r(state);
     if (r.u8() != kStateFormatVersion) return false;
     std::map<std::string, Account> accounts;
-    size_t n = r.count32(20);  // each account: five u32 length prefixes
+    size_t n = r.count32(24);  // each account: six u32 length prefixes
     for (size_t i = 0; i < n; ++i) {
       std::string key = r.str();
       Account acct;
-      acct.index = sse::SecureIndex::from_bytes(r.bytes());
+      acct.index = std::make_shared<const sse::SecureIndex>(
+          sse::SecureIndex::from_bytes(r.bytes()));
       acct.files = sse::EncryptedCollection::from_bytes(r.bytes());
+      acct.log = sse::UpdateLog::from_bytes(r.bytes());
       acct.d = r.bytes();
       acct.be_blob = r.bytes();
       accounts.emplace(std::move(key), std::move(acct));
@@ -268,8 +396,8 @@ bool SServer::load_from_file(const std::string& path) {
 size_t SServer::stored_bytes() const {
   size_t total = 0;
   for (const auto& [key, acct] : accounts_) {
-    total += acct.index.size_bytes() + acct.files.size_bytes() +
-             acct.d.size() + acct.be_blob.size();
+    total += acct.index->size_bytes() + acct.files.size_bytes() +
+             acct.log.size_bytes() + acct.d.size() + acct.be_blob.size();
   }
   for (const MhiEntry& e : mhi_store_) {
     total += e.ibe_blob.size();
@@ -290,6 +418,7 @@ Bytes PrivilegeBundle::to_bytes() const {
   w.str(collection);
   w.bytes(member_keys.to_bytes());
   w.u32(alias_count);
+  w.bytes(update_state.to_bytes());
   return w.take();
 }
 
@@ -304,6 +433,9 @@ PrivilegeBundle PrivilegeBundle::from_bytes(BytesView b) {
   pb.collection = r.str();
   pb.member_keys = be::MemberKeys::from_bytes(r.bytes());
   pb.alias_count = r.u32();
+  // Bundles sealed before the dynamic layer existed end here; they search
+  // with zeroed counters, i.e. the static index only.
+  if (!r.done()) pb.update_state = sse::UpdateState::from_bytes(r.bytes());
   return pb;
 }
 
@@ -368,6 +500,7 @@ Bytes Patient::make_sealed_bundle(size_t slot, BytesView mu,
   pb.keys = keys_;
   pb.ki = ki_;
   pb.collection = collection_;
+  pb.update_state = update_state_;
   pb.member_keys = be_group_->issue(slot);
   return cipher::aead_encrypt(mu, pb.to_bytes(), {}, rng_);
 }

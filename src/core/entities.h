@@ -26,6 +26,7 @@
 #include "src/ledger/ledger.h"
 #include "src/peks/peks.h"
 #include "src/sim/network.h"
+#include "src/sse/dynamic.h"
 #include "src/store/store.h"
 
 namespace hcpp::sim {
@@ -49,6 +50,7 @@ class AServerCluster;  // cluster.h — replicated state authority (§VI.D)
 struct AccountSnapshot {
   std::shared_ptr<const sse::SecureIndex> index;
   std::shared_ptr<const sse::EncryptedCollection> files;
+  std::shared_ptr<const sse::UpdateLog> log;  // forward-private update layer
   Bytes d;  // current privilege key for θ_d unwrap
 };
 
@@ -171,6 +173,13 @@ class SServer {
   // §IV.E.1 messages 3–4 — privileged search with θ_d-wrapped trapdoors.
   std::optional<RetrieveResponse> handle_privileged_retrieve(
       const PrivilegedRetrieveRequest& req);
+  // Dynamic PHI update (DESIGN.md §12) — O(delta) forward-private
+  // ADD/DELETE: append update-log entries, upsert/drop the touched file
+  // blobs. The packed index and the base store record are untouched.
+  bool handle_update(const UpdateRequest& req);
+  // Folds the update log away: replaces the packed index (rebuilt
+  // owner-side with fresh randomness) and clears the log.
+  bool handle_compact(const CompactRequest& req);
   // §IV.C REVOKE — re-key d and replace BE_U(d).
   bool handle_revoke(const RevokeRequest& req);
   // §IV.E.2 — MHI storage and role-based PEKS search.
@@ -238,8 +247,12 @@ class SServer {
 
  private:
   struct Account {
-    sse::SecureIndex index;
+    /// Immutable between whole-index writes (STORE/COMPACT) — shared into
+    /// snapshots instead of deep-copied, so an UPDATE-triggered republish is
+    /// O(log + files), never O(index).
+    std::shared_ptr<const sse::SecureIndex> index;
     sse::EncryptedCollection files;
+    sse::UpdateLog log;  // forward-private ADD/DELETE entries
     Bytes d;
     Bytes be_blob;
   };
@@ -251,13 +264,28 @@ class SServer {
 
   Account* find_account(BytesView tp, const std::string& collection);
 
-  /// Store-frame serialization of one account (index ‖ files ‖ d ‖ BE_U(d)),
-  /// the byte format store_consistent() compares against.
-  static Bytes account_to_bytes(const Account& acct);
-  static Account account_from_bytes(BytesView b);
-  /// Write-through: mirrors one account into the attached store (no-op when
-  /// none is attached). Called after every accounts_ mutation.
-  void store_put(const std::string& key, const Account& acct);
+  // Store key layout (DESIGN.md §12): an account spans one base record
+  // `<key>` (index ‖ d ‖ BE_U(d)) plus one record per file blob
+  // (`<key>#f/<hex fid>`) and one per update-log entry (`<key>#l/<label>`),
+  // so an UPDATE is O(delta) disk appends and never rewrites the index.
+  static std::string file_record_key(const std::string& key, sse::FileId id);
+  static std::string log_record_key(const std::string& key,
+                                    const std::string& label);
+  /// Base-record serialization (index ‖ d ‖ BE_U(d)) — the byte format
+  /// store_consistent() compares against.
+  static Bytes account_base_bytes(const Account& acct);
+  /// Write-through helpers: no-ops when no store is attached.
+  void store_put_base(const std::string& key, const Account& acct);
+  void store_put_file(const std::string& key, sse::FileId id, BytesView blob);
+  void store_erase_file(const std::string& key, sse::FileId id);
+  void store_put_log(const std::string& key, const std::string& label,
+                     BytesView entry);
+  /// Mirrors every record of one account (base + files + log).
+  void store_put_all(const std::string& key, const Account& acct);
+  /// Erases every record of `acct` (the in-memory image tells us exactly
+  /// which sub-records exist — no store-wide key scan).
+  void store_erase_all(const std::string& key, const Account& acct);
+  void store_put_checked(const std::string& key, BytesView value);
   /// Write-through for whole-map replacement (import_state): rewrites every
   /// account and tombstones store keys the new map no longer has.
   void store_replace_all();
@@ -289,6 +317,10 @@ struct PrivilegeBundle {
   be::MemberKeys member_keys;  // X
   /// Aliases per logical keyword in the stored index (§VI.B countermeasure).
   uint32_t alias_count = 1;
+  /// Per-keyword update-chain positions as of the ASSIGN. Privileged
+  /// entities search the collection as of this point — they cannot derive
+  /// post-assignment states (forward privacy working as specified).
+  sse::UpdateState update_state;
 
   [[nodiscard]] Bytes to_bytes() const;
   static PrivilegeBundle from_bytes(BytesView b);
@@ -317,6 +349,35 @@ class Patient {
   }
   [[nodiscard]] const std::vector<sse::PlainFile>& files() const noexcept {
     return files_;
+  }
+
+  /// Dynamic PHI update (DESIGN.md §12): registers `added` files (upsert by
+  /// id) and tombstones `removed` ids, shipping O(delta) forward-private
+  /// log inserts plus only the touched blobs — no index rebuild, no
+  /// whole-collection re-encryption. Local state (files, KI, counters)
+  /// commits unconditionally; the generated labels are deterministic, so a
+  /// transport retry re-sends identical records.
+  Result<void> try_update_phi(SServer& server,
+                              std::vector<sse::PlainFile> added,
+                              std::span<const sse::FileId> removed = {});
+  bool update_phi(SServer& server, std::vector<sse::PlainFile> added,
+                  std::span<const sse::FileId> removed = {});
+  /// Sharded groups route to the owning shard; replicated groups mirror the
+  /// same update to every reachable replica.
+  Result<size_t> try_update_phi(SServerGroup& group,
+                                std::vector<sse::PlainFile> added,
+                                std::span<const sse::FileId> removed = {});
+
+  /// COMPACT: folds the accumulated update log back into a freshly built
+  /// packed index (new randomness) and resets the counters under a bumped
+  /// epoch. Local state commits only on success; an applied-but-unacked
+  /// compaction is still safe (stale dynamic trapdoors degrade to the
+  /// rebuilt static index, which already contains every live file).
+  Result<void> try_compact_phi(SServer& server);
+  bool compact_phi(SServer& server);
+
+  [[nodiscard]] const sse::UpdateState& update_state() const noexcept {
+    return update_state_;
   }
 
   /// §IV.B: build SI + KI on the home PC and upload (SI, Λ, d, BE_U(d)).
@@ -389,10 +450,20 @@ class Patient {
   std::unique_ptr<be::BroadcastGroup> be_group_;
   size_t alias_count_ = 1;
   std::map<std::string, size_t> alias_cursor_;  // per-keyword rotation
+  sse::UpdateState update_state_;  // per-alias update-chain counters
   mutable cipher::Drbg rng_;
 
   /// Logical keyword -> the alias to search this time (rotating).
   [[nodiscard]] std::string next_alias(const std::string& kw);
+  /// Wire trapdoors for a keyword batch: rotates aliases and emits the
+  /// 100-byte dynamic encoding for updated keywords, the legacy 60-byte
+  /// static one otherwise (so never-updated flows stay byte-identical).
+  [[nodiscard]] std::vector<Bytes> make_trapdoor_blobs(
+      std::span<const std::string> keywords);
+  /// Shared body of try_update_phi: commits local state and builds the
+  /// request (update.cpp).
+  UpdateRequest build_update_request(std::vector<sse::PlainFile> added,
+                                     std::span<const sse::FileId> removed);
 };
 
 // ---------------------------------------------------------------------------

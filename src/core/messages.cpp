@@ -147,6 +147,35 @@ size_t PrivilegedRetrieveRequest::wire_size() const {
   return body().size() + 8 + 32;
 }
 
+Bytes UpdateRequest::body() const {
+  io::Writer w;
+  w.bytes(tp);
+  w.str(collection);
+  w.u32(static_cast<uint32_t>(log_inserts.size()));
+  for (const auto& [label, entry] : log_inserts) {
+    w.str(label);
+    w.bytes(entry);
+  }
+  w.u32(static_cast<uint32_t>(files_upsert.size()));
+  for (const auto& [id, blob] : files_upsert) {
+    w.u64(id);
+    w.bytes(blob);
+  }
+  w.u32(static_cast<uint32_t>(files_remove.size()));
+  for (sse::FileId id : files_remove) w.u64(id);
+  return w.take();
+}
+size_t UpdateRequest::wire_size() const { return body().size() + 8 + 32; }
+
+Bytes CompactRequest::body() const {
+  io::Writer w;
+  w.bytes(tp);
+  w.str(collection);
+  w.bytes(index);
+  return w.take();
+}
+size_t CompactRequest::wire_size() const { return body().size() + 8 + 32; }
+
 Bytes RevokeRequest::body() const {
   io::Writer w;
   w.bytes(tp);

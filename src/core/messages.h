@@ -107,6 +107,43 @@ struct PrivilegedRetrieveRequest {
   [[nodiscard]] size_t wire_size() const;
 };
 
+// ---- Dynamic PHI update (DESIGN.md §12) -----------------------------------
+/// O(delta) ADD/DELETE: forward-private update-log inserts plus the touched
+/// file blobs — the whole-account re-upload of StoreRequest becomes an
+/// append proportional to the change.
+struct UpdateRequest {
+  Bytes tp;
+  std::string collection;
+  /// (label, entry) pairs for the server's update log (sse::LogInsert).
+  std::vector<std::pair<std::string, Bytes>> log_inserts;
+  /// Freshly encrypted blobs for added files (per-file AEAD, not the whole
+  /// collection).
+  std::vector<std::pair<sse::FileId, Bytes>> files_upsert;
+  /// File ids whose blobs the server should drop (DELETE tombstones make
+  /// them unreachable via SEARCH; dropping the blob reclaims the bytes).
+  std::vector<sse::FileId> files_remove;
+  uint64_t t = 0;
+  Bytes mac;  // HMAC_ν
+
+  [[nodiscard]] Bytes body() const;
+  [[nodiscard]] size_t wire_size() const;
+};
+
+/// COMPACT: replace the packed index with one rebuilt (fresh randomness)
+/// from the owner's live file set and clear the update log. Counters reset
+/// owner-side (epoch bump), so post-compaction trapdoors are purely static
+/// until the next update.
+struct CompactRequest {
+  Bytes tp;
+  std::string collection;
+  Bytes index;  // serialized sse::SecureIndex
+  uint64_t t = 0;
+  Bytes mac;  // HMAC_ν
+
+  [[nodiscard]] Bytes body() const;
+  [[nodiscard]] size_t wire_size() const;
+};
+
 // ---- §IV.C REVOKE ----------------------------------------------------------
 struct RevokeRequest {
   Bytes tp;

@@ -157,7 +157,9 @@ bool SServer::handle_revoke(const RevokeRequest& req) {
   } catch (const std::exception&) {
     return false;
   }
-  store_put(account_key(req.tp, req.collection), *acct);
+  // REVOKE touches only d / BE_U(d) — one base-record rewrite, no file or
+  // log records.
+  store_put_base(account_key(req.tp, req.collection), *acct);
   return true;
 }
 

@@ -59,6 +59,31 @@ Result<std::vector<sse::PlainFile>> send_retrieve(sim::Network& net,
 }
 }  // namespace
 
+std::vector<Bytes> Patient::make_trapdoor_blobs(
+    std::span<const std::string> keywords) {
+  std::vector<Bytes> out;
+  out.reserve(keywords.size());
+  sse::TrapdoorGen gen(keys_);  // one ϖ_c/f_b key schedule for the batch
+  std::optional<sse::Updater> up;  // built lazily: only updated keywords pay
+  for (const std::string& kw : keywords) {
+    // Rotate through aliases so repeated same-keyword searches look
+    // unrelated to the server (§VI.B).
+    std::string alias = next_alias(kw);
+    auto it = update_state_.counters.find(alias);
+    if (it != update_state_.counters.end() && it->second > 0) {
+      // Updated keyword: the 100-byte dynamic trapdoor lets the server walk
+      // the update chain in addition to the static list.
+      if (!up.has_value()) up.emplace(keys_, update_state_);
+      out.push_back(up->trapdoor(alias).to_bytes());
+    } else {
+      // Never-updated keyword: legacy 60-byte static trapdoor, so
+      // update-free deployments stay byte-identical on the wire.
+      out.push_back(gen.make(alias).to_bytes());
+    }
+  }
+  return out;
+}
+
 Result<std::vector<sse::PlainFile>> Patient::try_retrieve(
     SServer& server, std::span<const std::string> keywords) {
   if (ctx_ == nullptr) throw std::logic_error("Patient: setup() first");
@@ -66,12 +91,7 @@ Result<std::vector<sse::PlainFile>> Patient::try_retrieve(
   RetrieveRequest req;
   req.tp = tp_bytes();
   req.collection = collection_;
-  sse::TrapdoorGen gen(keys_);  // one ϖ_c/f_b key schedule for the batch
-  for (const std::string& kw : keywords) {
-    // Rotate through aliases so repeated same-keyword searches look
-    // unrelated to the server (§VI.B).
-    req.trapdoors.push_back(gen.make(next_alias(kw)).to_bytes());
-  }
+  req.trapdoors = make_trapdoor_blobs(keywords);
   Bytes nu = shared_key_nu();
   req.t = net_->clock().now();
   req.mac = protocol_mac(nu, kLabel, req.body(), req.t);
@@ -89,11 +109,7 @@ Result<std::vector<sse::PlainFile>> Patient::retrieve(
   obs::Span span("protocol:retrieve_failover");
   // One prepared request (one alias rotation step), failed over across the
   // replicas; a fresh timestamp/MAC per replica keeps replay caches honest.
-  std::vector<Bytes> trapdoors;
-  sse::TrapdoorGen gen(keys_);
-  for (const std::string& kw : keywords) {
-    trapdoors.push_back(gen.make(next_alias(kw)).to_bytes());
-  }
+  std::vector<Bytes> trapdoors = make_trapdoor_blobs(keywords);
   Bytes nu = shared_key_nu();
   uint32_t attempts = 0;
   // Sharded: only the owning shard holds the account — one attempt, no
@@ -124,10 +140,7 @@ std::vector<sse::PlainFile> Patient::retrieve_anonymous(
   RetrieveRequest req;
   req.tp = tp_bytes();
   req.collection = collection_;
-  sse::TrapdoorGen gen(keys_);
-  for (const std::string& kw : keywords) {
-    req.trapdoors.push_back(gen.make(next_alias(kw)).to_bytes());
-  }
+  req.trapdoors = make_trapdoor_blobs(keywords);
   Bytes nu = shared_key_nu();
   req.t = net_->clock().now();
   req.mac = protocol_mac(nu, kLabel, req.body(), req.t);
@@ -173,14 +186,11 @@ std::optional<RetrieveResponse> SServer::handle_retrieve(
   Account* acct = find_account(req.tp, req.collection);
   if (acct == nullptr) return std::nullopt;
 
-  std::set<sse::FileId> matched;
-  for (const Bytes& td_bytes : req.trapdoors) {
-    std::optional<sse::Trapdoor> td = sse::Trapdoor::from_bytes(td_bytes);
-    if (!td.has_value()) continue;
-    for (sse::FileId id : sse::search(acct->index, *td)) matched.insert(id);
-  }
+  // Mixed-width batch: 60-byte static trapdoors walk the packed index only;
+  // 100-byte dynamic ones additionally walk the account's update log.
   RetrieveResponse resp;
-  for (sse::FileId id : matched) {
+  for (sse::FileId id :
+       sse::search_mixed(*acct->index, acct->log, req.trapdoors)) {
     auto it = acct->files.files.find(id);
     if (it != acct->files.files.end()) resp.files.emplace_back(id, it->second);
   }

@@ -77,20 +77,25 @@ SearchService::Result SearchService::answer(const SnapshotMap& snap,
   const AccountSnapshot& acct = it->second;
   res.account_found = true;
 
+  // Snapshots published before the dynamic layer carry no log pointer.
+  static const sse::UpdateLog kEmptyLog;
+  const sse::UpdateLog& log = acct.log ? *acct.log : kEmptyLog;
   std::set<sse::FileId> matched;
   if (q.privileged) {
-    // One θ_d key schedule for the whole query; invalid blobs (stale d,
-    // corruption) contribute nothing. Serial here — the query already runs
-    // on a pool worker and tasks must not nest (pool.h).
-    std::vector<std::optional<sse::Trapdoor>> tds =
-        sse::unwrap_trapdoors(acct.d, q.wrapped);
-    for (const std::optional<sse::Trapdoor>& td : tds) {
-      if (!td.has_value()) continue;
-      for (sse::FileId id : sse::search(*acct.index, *td)) matched.insert(id);
+    // One θ_d key schedule per trapdoor width for the whole query; invalid
+    // blobs (stale d, corruption) contribute nothing. Serial here — the
+    // query already runs on a pool worker and tasks must not nest (pool.h).
+    for (sse::FileId id :
+         sse::search_wrapped_mixed(*acct.index, log, acct.d, q.wrapped)) {
+      matched.insert(id);
     }
   } else {
     for (const sse::Trapdoor& td : q.trapdoors) {
       for (sse::FileId id : sse::search(*acct.index, td)) matched.insert(id);
+    }
+    for (sse::FileId id :
+         sse::search_mixed(*acct.index, log, q.trapdoor_blobs)) {
+      matched.insert(id);
     }
   }
   for (sse::FileId id : matched) {
@@ -183,15 +188,11 @@ SearchService::search_batch_privileged(
     auto it = snap.find(key);
     if (it == snap.end()) return;
     const AccountSnapshot& acct = it->second;
-    std::set<sse::FileId> matched;
-    std::vector<std::optional<sse::Trapdoor>> tds =
-        sse::unwrap_trapdoors(acct.d, req.wrapped_trapdoors);
-    for (const std::optional<sse::Trapdoor>& td : tds) {
-      if (!td.has_value()) continue;
-      for (sse::FileId id : sse::search(*acct.index, *td)) matched.insert(id);
-    }
+    static const sse::UpdateLog kEmptyLog;
+    const sse::UpdateLog& log = acct.log ? *acct.log : kEmptyLog;
     RetrieveResponse resp;
-    for (sse::FileId id : matched) {
+    for (sse::FileId id : sse::search_wrapped_mixed(
+             *acct.index, log, acct.d, req.wrapped_trapdoors)) {
       auto fit = acct.files->files.find(id);
       if (fit != acct.files->files.end()) {
         resp.files.emplace_back(id, fit->second);

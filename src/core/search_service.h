@@ -44,8 +44,11 @@ class SearchService {
   /// `trapdoors` / `wrapped` is consulted, selected by `privileged`.
   struct Query {
     std::string account;  // SServer::account_key(tp, collection)
-    std::vector<sse::Trapdoor> trapdoors;  // owner path (§IV.D)
-    std::vector<Bytes> wrapped;            // θ_d-wrapped path (§IV.E.1)
+    std::vector<sse::Trapdoor> trapdoors;  // owner path (§IV.D), static only
+    /// Owner path, raw wire encodings: 60-byte static and 100-byte dynamic
+    /// trapdoors in one batch (the dynamic ones walk the update log).
+    std::vector<Bytes> trapdoor_blobs;
+    std::vector<Bytes> wrapped;  // θ_d-wrapped path (§IV.E.1), either width
     bool privileged = false;
   };
 

@@ -71,7 +71,12 @@ Result<void> Patient::try_store_phi(SServer& server) {
   StoreRequest req = build_store_request(
       rng_, collection_, aliased, files_, *be_group_, keys_,
       net_->clock().now(), shared_key_nu(), tp_bytes());
-  return send_store(*net_, name_, server, req);
+  Result<void> r = send_store(*net_, name_, server, req);
+  // A whole-index upload supersedes any server-side update log, so the
+  // update chains restart under a fresh epoch (recycled counter values must
+  // not re-derive labels the server has already seen).
+  if (r.ok()) update_state_ = sse::UpdateState{update_state_.epoch + 1, {}};
+  return r;
 }
 
 bool Patient::store_phi(SServer& server) {
@@ -94,7 +99,10 @@ Result<size_t> Patient::store_phi(SServerGroup& group) {
   if (group.sharded()) {
     Result<void> r =
         send_store(*net_, name_, group.shard_for(req.tp), req);
-    if (r.ok()) return size_t{1};
+    if (r.ok()) {
+      update_state_ = sse::UpdateState{update_state_.epoch + 1, {}};
+      return size_t{1};
+    }
     return r.error();
   }
   size_t stored = 0;
@@ -110,7 +118,10 @@ Result<size_t> Patient::store_phi(SServerGroup& group) {
       any_rejected |= !r.error().transient();
     }
   }
-  if (stored > 0) return stored;
+  if (stored > 0) {
+    update_state_ = sse::UpdateState{update_state_.epoch + 1, {}};
+    return stored;
+  }
   if (any_rejected) {
     return permanent_error(ErrorCode::kRejected, attempts,
                            "every replica refused the upload");
@@ -138,7 +149,9 @@ bool Patient::store_phi_anonymous(SServer& server, sim::OnionNetwork& onion) {
         }
       },
       rng_);
-  return reply.size() == 1 && reply[0] == 1;
+  bool ok = reply.size() == 1 && reply[0] == 1;
+  if (ok) update_state_ = sse::UpdateState{update_state_.epoch + 1, {}};
+  return ok;
 }
 
 bool SServer::handle_store(const StoreRequest& req) {
@@ -155,7 +168,8 @@ bool SServer::handle_store(const StoreRequest& req) {
   }
   Account acct;
   try {
-    acct.index = sse::SecureIndex::from_bytes(req.index);
+    acct.index = std::make_shared<const sse::SecureIndex>(
+        sse::SecureIndex::from_bytes(req.index));
     acct.files = sse::EncryptedCollection::from_bytes(req.files);
   } catch (const std::exception&) {
     return false;
@@ -163,8 +177,13 @@ bool SServer::handle_store(const StoreRequest& req) {
   acct.d = req.d;
   acct.be_blob = req.be_blob;
   std::string key = account_key(req.tp, req.collection);
+  // A re-upload supersedes the old account's file/log sub-records; erase
+  // them by the old in-memory image (no store-wide scan).
+  if (auto it = accounts_.find(key); it != accounts_.end()) {
+    store_erase_all(key, it->second);
+  }
   accounts_[key] = std::move(acct);
-  store_put(key, accounts_[key]);
+  store_put_all(key, accounts_[key]);
   return true;
 }
 

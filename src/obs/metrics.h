@@ -92,6 +92,13 @@ inline constexpr const char* kSseIndexBuild = "sse.index_build";
 inline constexpr const char* kSseSearch = "sse.search";
 inline constexpr const char* kSseSearchHits = "sse.search_hits";
 
+// Dynamic forward-private update layer (src/sse/dynamic.cpp and the UPDATE /
+// COMPACT protocol handlers in src/core/update.cpp).
+inline constexpr const char* kSseUpdateAdd = "sse.update_add";
+inline constexpr const char* kSseUpdateDelete = "sse.update_delete";
+inline constexpr const char* kSseDynSearch = "sse.dyn_search";
+inline constexpr const char* kSseCompactions = "sse.compactions";
+
 // Parallel execution layer (src/par/pool.cpp). Emitted per pool instance:
 // "par.<pool>.queue_depth" (gauge, tasks waiting), "par.<pool>.task_ns"
 // (histogram, wall time of one shard body), "par.<pool>.tasks" (counter).
@@ -129,6 +136,7 @@ inline constexpr const char* kStoreTornTails = "store.torn_tails";
 // converts into the BENCH_load.json percentile curve.
 inline constexpr const char* kLoadOpNs = "load.op_ns";  // all op classes
 inline constexpr const char* kLoadStoreNs = "load.store_ns";
+inline constexpr const char* kLoadUpdateNs = "load.update_ns";
 inline constexpr const char* kLoadSearchNs = "load.search_ns";
 inline constexpr const char* kLoadRetrieveNs = "load.retrieve_ns";
 inline constexpr const char* kLoadEmergencyNs = "load.emergency_ns";

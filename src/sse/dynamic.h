@@ -1,0 +1,159 @@
+// Dynamic, forward-private update layer over the static SSE-1 index
+// (DESIGN.md §12, ROADMAP item 1).
+//
+// The packed (A, T) index of sse.h stays the bulk-load fast path; this
+// module adds the Σoφoς-style chained-counter construction that makes PHI
+// changes O(#keywords-changed) instead of a full rebuild:
+//
+//   * Per keyword the owner keeps a counter c and derives a chain of states
+//     st_c = F_ku(epoch ‖ kw ‖ c) from the update key ku (itself a PRF of
+//     the SSE bundle, so family/P-device can re-derive it from the ASSIGN
+//     bundle). Each ADD/DELETE lands in the server's update log under
+//     label_c = H(st_c ‖ "L") — a label the server has never seen and,
+//     lacking ku, cannot predict from any previously issued trapdoor:
+//     forward privacy.
+//   * The log entry value is Enc_{H(st_c ‖ "V")}(op ‖ fid ‖ st_{c-1}): a
+//     search trapdoor reveals (st_n, n) and the server walks the chain
+//     backwards n steps, learning exactly the updates this keyword has
+//     accumulated — nothing about other keywords, nothing about future
+//     updates.
+//   * DELETE is a tombstone op; resolution is newest-op-wins, so a tombstone
+//     suppresses both older log ADDs and the static index's postings, and a
+//     later re-ADD resurrects the file.
+//   * compact() (owner-side: rebuild the packed index from the live file
+//     set, epoch += 1, counters reset) folds the log away; the epoch in the
+//     state derivation keeps recycled counter values on fresh labels.
+//
+// The static build doubles as the differential oracle:
+// bulk-build(A ∪ B) ≡ build(A) then add(B), modulo index bytes
+// (test_sse_dynamic.cpp).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sse/sse.h"
+
+namespace hcpp::sse {
+
+/// Chain-state / update-key width.
+inline constexpr size_t kStateLen = 32;
+/// Log entry plaintext/ciphertext: op(1) ‖ fid(8) ‖ st_{c-1}(32). The cipher
+/// is a fixed-nonce stream under a single-use key, so len(ct) == len(pt).
+inline constexpr size_t kLogEntrySize = 41;
+/// DynTrapdoor encoding: address(16) ‖ mask(40) ‖ state(32) ‖ count(8) ‖
+/// tag(4) — the static trapdoor plus the newest chain state and its counter.
+inline constexpr size_t kDynTrapdoorSize = 100;
+
+enum class UpdateOp : uint8_t { kAdd = 1, kDelete = 2 };
+
+/// Owner-side per-keyword chain positions plus the compaction epoch.
+/// Serialized into the ASSIGN bundle so privileged entities search the
+/// collection as of the assignment (they cannot derive later states — that
+/// is the forward-privacy guarantee working as specified).
+struct UpdateState {
+  uint64_t epoch = 0;
+  std::map<std::string, uint64_t> counters;  // keyword -> entries appended
+
+  [[nodiscard]] Bytes to_bytes() const;
+  static UpdateState from_bytes(BytesView b);
+};
+
+/// Server-side update log: label -> encrypted entry. The server learns only
+/// how many updates an account has accumulated.
+struct UpdateLog {
+  std::unordered_map<std::string, Bytes> entries;  // hex(label) -> entry
+
+  [[nodiscard]] Bytes to_bytes() const;
+  static UpdateLog from_bytes(BytesView b);
+  [[nodiscard]] size_t size_bytes() const;
+};
+
+/// One (label, entry) pair ready to append — what the UPDATE protocol
+/// message carries.
+struct LogInsert {
+  std::string label;  // hex, as keyed in UpdateLog::entries
+  Bytes entry;        // kLogEntrySize bytes
+};
+
+/// Dynamic trapdoor: the static TD(kw) plus (st_n, n) so the server can walk
+/// the keyword's update chain. count == 0 (state all-zero) degrades to a
+/// purely static search.
+struct DynTrapdoor {
+  Trapdoor base;
+  Bytes state;         // st_n (kStateLen), zeros when count == 0
+  uint64_t count = 0;  // n
+
+  [[nodiscard]] Bytes to_bytes() const;  // fixed kDynTrapdoorSize encoding
+  static std::optional<DynTrapdoor> from_bytes(BytesView b);  // checks tag
+};
+
+/// The update key ku: a deterministic PRF of the SSE bundle, so every holder
+/// of the keys (owner, ASSIGN-ed family/P-device) derives the same chains.
+Bytes update_key(const Keys& keys);
+
+/// Owner-side update engine: generates forward-private log inserts and the
+/// matching dynamic trapdoors, advancing the per-keyword counters.
+class Updater {
+ public:
+  explicit Updater(const Keys& keys, UpdateState state = {});
+
+  /// Registers fid under kw; returns the log insert and bumps the counter.
+  LogInsert add(std::string_view kw, FileId fid);
+  /// Tombstone: suppresses fid under kw (static postings included).
+  LogInsert del(std::string_view kw, FileId fid);
+
+  /// TD(kw) extended with the keyword's current (st_n, n).
+  [[nodiscard]] DynTrapdoor trapdoor(std::string_view kw) const;
+
+  [[nodiscard]] const UpdateState& state() const noexcept { return state_; }
+  /// After folding the log into a fresh static index: counters cleared and
+  /// the epoch bumped, so recycled counter values derive fresh labels.
+  void reset_for_compaction();
+
+ private:
+  LogInsert append(std::string_view kw, FileId fid, UpdateOp op);
+  [[nodiscard]] Bytes chain_state(std::string_view kw, uint64_t c) const;
+
+  TrapdoorGen gen_;
+  prf::Prf f_ku_;  // F_ku — the chain-state PRF
+  UpdateState state_;
+};
+
+/// Server-side SEARCH over static index + update log: walks the static list,
+/// then the chain backwards from (st_n, n), resolving newest-op-wins.
+/// Returns the surviving file ids (sorted ascending, deduplicated).
+std::vector<FileId> search_dynamic(const SecureIndex& index,
+                                   const UpdateLog& log,
+                                   const DynTrapdoor& td);
+
+/// Server-side SEARCH over a mixed batch of raw trapdoor encodings: 60-byte
+/// static (Trapdoor) and 100-byte dynamic (DynTrapdoor) widths in one
+/// request — what an UPDATE-aware account must accept, since owners emit the
+/// static width for never-updated keywords. Malformed blobs contribute
+/// nothing. Returns the union of matches, deduplicated and sorted.
+std::vector<FileId> search_mixed(const SecureIndex& index,
+                                 const UpdateLog& log,
+                                 std::span<const Bytes> trapdoors);
+
+/// Privileged variant: every blob is θ_d-wrapped, again at either width
+/// (the wrap domains are disjoint by size). Stale-d or corrupt blobs
+/// contribute nothing.
+std::vector<FileId> search_wrapped_mixed(const SecureIndex& index,
+                                         const UpdateLog& log, BytesView d,
+                                         std::span<const Bytes> wrapped);
+
+/// θ_d wrap of a dynamic trapdoor (privileged path). Same re-keyable d as
+/// wrap_trapdoor, at the dynamic width — the two wrap domains are disjoint
+/// by size.
+Bytes wrap_dyn_trapdoor(BytesView d, const DynTrapdoor& td);
+std::optional<DynTrapdoor> unwrap_dyn_trapdoor(BytesView d, BytesView wrapped);
+
+/// One file's E'_s AEAD blob — the incremental unit of encrypt_collection,
+/// exposed so the UPDATE path encrypts only the touched files.
+Bytes encrypt_file(const Keys& keys, const PlainFile& f, RandomSource& rng);
+
+}  // namespace hcpp::sse

@@ -446,7 +446,9 @@ TEST(StoreIntegration, WriteThroughAndHydration) {
   // Attaching after the fact writes the existing account through.
   ASSERT_TRUE(d.sserver->attach_store(dir.string()));
   EXPECT_TRUE(d.sserver->has_store());
-  EXPECT_EQ(d.sserver->account_store().size(), d.sserver->account_count());
+  // Granular layout: one base record plus one record per file blob (and per
+  // update-log entry — none yet).
+  EXPECT_EQ(d.sserver->account_store().size(), 1u + 6u);
   EXPECT_TRUE(d.sserver->store_consistent());
 
   // Protocol mutations write through: REVOKE re-keys d and BE_U(d).

@@ -18,10 +18,16 @@
 #   BENCH_load.json       — bench_load (closed/open-loop mixed traffic over
 #                           the sharded persistent account store + SEARCH
 #                           front-end: p50/p95/p99 per QPS point from the obs
-#                           load.*_ns histograms, plus the post-run
+#                           load.*_ns histograms — including the §12 UPDATE
+#                           op in both loops — plus the post-run
 #                           differential-oracle verdict). Population size
 #                           defaults to 100000 accounts; BENCH_LOAD_ACCOUNTS
 #                           shrinks it for smoke runs.
+#   BENCH_sse.json        — bench_sse (index build serial + pooled, SEARCH,
+#                           trapdoors, and the DESIGN.md §12 dynamic update
+#                           layer: per-file ADD/DELETE vs full rebuild at
+#                           1k/10k files, SEARCH with a pending update log,
+#                           compaction fold — the E11 numbers)
 #
 # Usage: tools/run_benchmarks.sh [build-dir]
 # Always configures the bench build directory with an explicit optimized
@@ -60,10 +66,10 @@ cmake -B "$build_dir" -S "$repo_root" -DHCPP_BENCH=ON \
   -DCMAKE_BUILD_TYPE="$build_type"
 cmake --build "$build_dir" -j "$(nproc)" \
   --target bench_computation bench_protocols bench_throughput bench_ledger \
-           bench_load hcpp_cpuinfo
+           bench_load bench_sse hcpp_cpuinfo
 
 for bin in bench_computation bench_protocols bench_throughput bench_ledger \
-           bench_load; do
+           bench_load bench_sse; do
   if [[ ! -x "$build_dir/bench/$bin" ]]; then
     echo "error: $build_dir/bench/$bin still missing after the build" \
          "(HCPP_BENCH=OFF in the cache?)" >&2
@@ -211,3 +217,27 @@ if not report.get("oracle", {}).get("pass", False):
 EOF
 inject_cpuinfo "$repo_root/BENCH_load.json"
 echo "wrote $repo_root/BENCH_load.json"
+
+# bench_sse is a google-benchmark binary with the same honest reporter as
+# bench_computation (library_build_type derived from the binary's NDEBUG).
+# BENCH_SSE_FILTER narrows the run for smoke jobs.
+sse_filter="${BENCH_SSE_FILTER:-}"
+"$build_dir/bench/bench_sse" \
+  ${sse_filter:+--benchmark_filter="$sse_filter"} \
+  --benchmark_repetitions="$reps" \
+  --benchmark_out_format=json \
+  --benchmark_out="$repo_root/BENCH_sse.json" >/dev/null
+python3 - "$repo_root/BENCH_sse.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    report = json.load(f)
+build = report.get("context", {}).get("library_build_type", "missing")
+if build != "release":
+    import os
+    os.unlink(path)
+    sys.exit(f"error: sse report says library_build_type={build!r}; "
+             "refusing to keep numbers from a non-optimized build")
+EOF
+inject_cpuinfo "$repo_root/BENCH_sse.json"
+echo "wrote $repo_root/BENCH_sse.json"

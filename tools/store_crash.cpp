@@ -23,6 +23,7 @@
 #include <map>
 #include <string>
 
+#include "src/common/bytes.h"
 #include "src/common/serialize.h"
 #include "src/hash/sha256.h"
 #include "src/store/store.h"
@@ -36,14 +37,34 @@ namespace fs = std::filesystem;
 // Deterministic op i (1-based): both the workload and the verifier derive
 // it independently, so no state crosses the kill boundary except the log.
 // Every 19th op is a delete, re-put later — so recovery must get tombstone
-// replay right, not just appends.
-std::string op_key(uint64_t i) { return "acct-" + std::to_string(i % 211); }
+// replay right, not just appends. Every 7th op is a §12 update-log-frame
+// append (the "<acct>#l/<label>" granular records SServer::handle_update
+// writes through): a different key shape and a 41-byte value, so SIGKILL
+// also lands mid-log-append and a torn frame must be truncated, never
+// served. Erases hit whichever key shape op i has — deleting log records
+// is exactly what COMPACT does.
+bool op_is_log(uint64_t i) { return i % 7 == 3; }
+
+std::string op_key(uint64_t i) {
+  std::string base = "acct-" + std::to_string(i % 211);
+  if (!op_is_log(i)) return base;
+  io::Writer w;
+  w.str("store-crash-label");
+  w.u64(i);
+  return base + "#l/" + hex_encode(hash::sha256_bytes(w.data())).substr(0, 32);
+}
 
 Bytes op_value(uint64_t i) {
   io::Writer w;
-  w.str("store-crash-value");
+  w.str(op_is_log(i) ? "store-crash-frame" : "store-crash-value");
   w.u64(i);
-  return hash::sha256_bytes(w.data());
+  Bytes v = hash::sha256_bytes(w.data());
+  if (op_is_log(i)) {
+    // 41 bytes, the dynamic layer's kLogEntrySize: op(1) | fid(8) | st(32).
+    Bytes tail = hash::sha256_bytes(v);
+    v.insert(v.end(), tail.begin(), tail.begin() + 9);
+  }
+  return v;
 }
 
 bool op_is_erase(uint64_t i) { return i % 19 == 0; }
