@@ -1,0 +1,308 @@
+// Streaming MHI pipeline costs (DESIGN.md §13): the encrypt-side g_r cache,
+// the batched PEKS test against a standing trapdoor, and the end-to-end
+// MhiIngestor → MhiStreamHub window path. The headline numbers are the two
+// amortization ratios the design claims:
+//   * peks_encrypt_cached vs peks_encrypt_cold — the per-epoch
+//     hash-to-point + pairing hoisted out of the tag loop;
+//   * peks_test_batch vs peks_test_scalar — precomputed Miller loops plus
+//     ONE batched final exponentiation across all candidate tags.
+// Both fast paths are checked against their scalar oracles inline; a report
+// is only written if the verdict vectors agree bit-for-bit. The standing-
+// query match latency distribution comes from the library's own
+// mhi.ingest_ns obs histogram, not a bench-side timer.
+//
+// Plain main() harness (like bench_ledger): prints a table and, with
+// --json-out=PATH, a JSON report whose context records library_build_type
+// so tools/run_benchmarks.sh can refuse debug-build numbers.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cipher/drbg.h"
+#include "src/core/mhi_stream.h"
+#include "src/curve/params.h"
+#include "src/ibc/domain.h"
+#include "src/obs/metrics.h"
+#include "src/peks/peks.h"
+
+using namespace hcpp;
+
+namespace {
+
+constexpr size_t kTags = 64;           // candidate tags per batched test
+constexpr size_t kRegistrations = 4;   // standing physicians on the hub
+constexpr size_t kWindowSamples = 16;  // vital-sign samples per window
+
+const char* kDay = "2011-04-12";
+const char* kDayKeyword = "day:2011-04-12";
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Row {
+  std::string workload;
+  double ops_per_sec;
+  std::string unit;
+};
+
+/// Runs `body` (performing `ops` unit operations per call) for at least
+/// `min_seconds` after one untimed warm-up and returns ops/sec.
+template <typename F>
+double measure(double min_seconds, size_t ops, F&& body) {
+  body();
+  size_t total_ops = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    body();
+    total_ops += ops;
+    elapsed = seconds_since(t0);
+  } while (elapsed < min_seconds);
+  return static_cast<double>(total_ops) / elapsed;
+}
+
+peks::Variant variant_for(size_t i) {
+  return (i % 2 == 0) ? peks::Variant::kBdop : peks::Variant::kRandomized;
+}
+
+/// Every 8th tag carries the day keyword the trapdoor searches for; the rest
+/// carry distinct misses. Variants alternate so both comparison paths are in
+/// the measured mix.
+std::vector<peks::PeksCiphertext> make_tags(const ibc::PublicParams& pub,
+                                            const std::string& role,
+                                            RandomSource& rng) {
+  peks::PeksEncryptor enc(pub);
+  std::vector<peks::PeksCiphertext> tags;
+  tags.reserve(kTags);
+  for (size_t i = 0; i < kTags; ++i) {
+    std::string kw =
+        (i % 8 == 0) ? kDayKeyword : "vitals:kw-" + std::to_string(i);
+    tags.push_back(enc.encrypt(role, kw, rng, variant_for(i)));
+  }
+  return tags;
+}
+
+Row bench_encrypt_cold(const ibc::PublicParams& pub, const std::string& role,
+                       RandomSource& rng) {
+  double ops = measure(0.3, 4, [&] {
+    for (size_t i = 0; i < 4; ++i) {
+      peks::peks_encrypt(pub, role, "vitals:hr", rng, variant_for(i));
+    }
+  });
+  return {"peks_encrypt_cold", ops, "tags/s"};
+}
+
+Row bench_encrypt_cached(const ibc::PublicParams& pub, const std::string& role,
+                         RandomSource& rng) {
+  peks::PeksEncryptor enc(pub);  // warm-up call fills the g_r cache
+  double ops = measure(0.3, 4, [&] {
+    for (size_t i = 0; i < 4; ++i) {
+      enc.encrypt(role, "vitals:hr", rng, variant_for(i));
+    }
+  });
+  return {"peks_encrypt_cached", ops, "tags/s"};
+}
+
+Row bench_test_scalar(const curve::CurveCtx& ctx,
+                      std::span<const peks::PeksCiphertext> tags,
+                      const peks::Trapdoor& td,
+                      std::vector<uint8_t>* verdicts_out) {
+  std::vector<uint8_t> verdicts(tags.size(), 0);
+  double ops = measure(0.6, tags.size(), [&] {
+    for (size_t i = 0; i < tags.size(); ++i) {
+      verdicts[i] = peks::peks_test(ctx, tags[i], td) ? 1 : 0;
+    }
+  });
+  *verdicts_out = verdicts;
+  return {"peks_test_scalar", ops, "tests/s"};
+}
+
+Row bench_test_batch(const curve::CurveCtx& ctx,
+                     std::span<const peks::PeksCiphertext> tags,
+                     const peks::Trapdoor& td,
+                     std::vector<uint8_t>* verdicts_out) {
+  std::vector<uint8_t> verdicts;
+  double ops = measure(0.6, tags.size(), [&] {
+    verdicts = peks::peks_test_batch(ctx, tags, td);
+  });
+  *verdicts_out = verdicts;
+  return {"peks_test_batch", ops, "tests/s"};
+}
+
+Row bench_stream_encode(const ibc::PublicParams& pub, const std::string& role,
+                        RandomSource& rng) {
+  core::MhiIngestor ingestor(pub, role);
+  core::MhiWindow win = core::generate_mhi_window(kDay, kWindowSamples, rng);
+  std::vector<std::string> extra = {"vitals:anomalous"};
+  double ops = measure(0.3, 1, [&] {
+    core::MhiIngestor::EncodedWindow enc = ingestor.encode(win, extra, rng);
+    if (enc.peks_tags.size() != 2) std::abort();
+  });
+  return {"stream_encode", ops, "windows/s"};
+}
+
+Row bench_stream_ingest(const curve::CurveCtx& ctx,
+                        const ibc::PublicParams& pub,
+                        const curve::Point& role_key, const std::string& role,
+                        RandomSource& rng) {
+  // Standing registrations: one physician searching for the day keyword
+  // (matches every window), the rest parked on keywords that never land.
+  core::MhiStreamHub hub(ctx);
+  hub.register_trapdoor("dr-0", role,
+                        peks::peks_trapdoor(ctx, role_key, kDayKeyword));
+  for (size_t i = 1; i < kRegistrations; ++i) {
+    hub.register_trapdoor(
+        "dr-" + std::to_string(i), role,
+        peks::peks_trapdoor(ctx, role_key, "code:" + std::to_string(i)));
+  }
+
+  core::MhiIngestor ingestor(pub, role);
+  core::MhiWindow win = core::generate_mhi_window(kDay, kWindowSamples, rng);
+  std::vector<std::string> extra = {"vitals:anomalous"};
+  core::MhiIngestor::EncodedWindow enc = ingestor.encode(win, extra, rng);
+  std::vector<peks::PeksCiphertext> tags;
+  for (const Bytes& t : enc.peks_tags) {
+    tags.push_back(peks::PeksCiphertext::from_bytes(ctx, t));
+  }
+
+  double ops = measure(0.3, 1, [&] {
+    if (hub.ingest(role, tags, enc.ibe_blob) != 1) std::abort();
+    (void)hub.drain_hits("dr-0");  // bound the queue during the run
+  });
+  return {"stream_ingest", ops, "windows/s"};
+}
+
+void write_json(const char* path, const std::vector<Row>& rows,
+                double encrypt_speedup, double test_speedup,
+                const obs::HistogramSummary& ingest_lat) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::perror("fopen --json-out");
+    std::exit(1);
+  }
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  std::fprintf(f,
+               "{\n  \"context\": {\n"
+               "    \"source\": \"bench_mhi\",\n"
+               "    \"library_build_type\": \"%s\",\n"
+               "    \"hardware_concurrency\": %u,\n"
+               "    \"candidate_tags\": %zu,\n"
+               "    \"standing_registrations\": %zu\n"
+               "  },\n  \"benchmarks\": [\n",
+               build_type, std::thread::hardware_concurrency(), kTags,
+               kRegistrations);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ops_per_sec\": %.2f, "
+                 "\"unit\": \"%s\"}%s\n",
+                 r.workload.c_str(), r.ops_per_sec, r.unit.c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"speedups\": {\n"
+               "    \"peks_encrypt_cached_vs_cold\": %.2f,\n"
+               "    \"peks_test_batch_vs_scalar\": %.2f\n  },\n"
+               "  \"ingest_latency_ns\": {\n"
+               "    \"source_histogram\": \"%s\",\n"
+               "    \"count\": %llu,\n"
+               "    \"p50\": %.1f,\n    \"p95\": %.1f,\n    \"p99\": %.1f,\n"
+               "    \"max\": %.1f\n  }\n}\n",
+               encrypt_speedup, test_speedup, obs::kMhiIngestNs,
+               static_cast<unsigned long long>(ingest_lat.count),
+               ingest_lat.percentile(0.50), ingest_lat.percentile(0.95),
+               ingest_lat.percentile(0.99), ingest_lat.max);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_out = argv[i] + 11;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json-out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const curve::CurveCtx& ctx = curve::params(curve::ParamSet::kProduction);
+  cipher::Drbg rng(to_bytes("bench-mhi"));
+  ibc::Domain domain(ctx, rng);
+  const std::string role =
+      core::mhi_role_id(kDay, "emergency", "gainesville");
+  curve::Point role_key = domain.extract(role);
+  peks::Trapdoor td = peks::peks_trapdoor(ctx, role_key, kDayKeyword);
+  std::vector<peks::PeksCiphertext> tags = make_tags(domain.pub(), role, rng);
+
+  std::vector<Row> rows;
+  rows.push_back(bench_encrypt_cold(domain.pub(), role, rng));
+  rows.push_back(bench_encrypt_cached(domain.pub(), role, rng));
+  std::vector<uint8_t> scalar_verdicts;
+  std::vector<uint8_t> batch_verdicts;
+  rows.push_back(bench_test_scalar(ctx, tags, td, &scalar_verdicts));
+  rows.push_back(bench_test_batch(ctx, tags, td, &batch_verdicts));
+
+  // Differential oracle gating the report: the batched path must agree with
+  // the scalar path on every tag, and the expected matches must be present.
+  if (batch_verdicts != scalar_verdicts) {
+    std::fprintf(stderr,
+                 "error: peks_test_batch diverged from the scalar oracle\n");
+    return 1;
+  }
+  for (size_t i = 0; i < kTags; ++i) {
+    if (scalar_verdicts[i] != (i % 8 == 0 ? 1 : 0)) {
+      std::fprintf(stderr, "error: tag %zu has the wrong verdict\n", i);
+      return 1;
+    }
+  }
+
+  rows.push_back(bench_stream_encode(domain.pub(), role, rng));
+
+  // The ingest workload runs with a registry attached so the library's own
+  // mhi.ingest_ns histogram captures the standing-query match latency.
+  obs::Registry reg;
+  obs::attach(&reg);
+  rows.push_back(bench_stream_ingest(ctx, domain.pub(), role_key, role, rng));
+  obs::attach(nullptr);
+  obs::HistogramSummary ingest_lat;
+  obs::Snapshot snap = reg.snapshot();
+  if (auto it = snap.histograms.find(obs::kMhiIngestNs);
+      it != snap.histograms.end()) {
+    ingest_lat = it->second;
+  }
+
+  double encrypt_speedup = rows[1].ops_per_sec / rows[0].ops_per_sec;
+  double test_speedup = rows[3].ops_per_sec / rows[2].ops_per_sec;
+
+  std::printf("%-20s %14s  %s\n", "workload", "ops/sec", "unit");
+  for (const Row& r : rows) {
+    std::printf("%-20s %14.1f  %s\n", r.workload.c_str(), r.ops_per_sec,
+                r.unit.c_str());
+  }
+  std::printf("speedups: encrypt cached/cold=%.2fx, test batch/scalar=%.2fx "
+              "(%zu tags)\n",
+              encrypt_speedup, test_speedup, kTags);
+  std::printf("ingest latency (ns): p50=%.0f p95=%.0f p99=%.0f "
+              "(%llu samples)\n",
+              ingest_lat.percentile(0.50), ingest_lat.percentile(0.95),
+              ingest_lat.percentile(0.99),
+              static_cast<unsigned long long>(ingest_lat.count));
+
+  if (json_out != nullptr) {
+    write_json(json_out, rows, encrypt_speedup, test_speedup, ingest_lat);
+    std::printf("wrote %s\n", json_out);
+  }
+  return 0;
+}

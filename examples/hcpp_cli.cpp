@@ -23,6 +23,10 @@
 //   retrieve <kw>             §IV.D common-case retrieval
 //   family <kw>               §IV.E.1 family emergency retrieval
 //   emergency <physician> <kw>  full §IV.E.2 P-device flow
+//   mhi register <dr> <day> <kw>  park a §13 standing trapdoor on the hub
+//   mhi ingest <day> [kw...]  stream one vital-sign window (amortized PEKS)
+//   mhi match <dr> <day>      drain + decrypt the physician's queued hits
+//   mhi stats                 hub counters + the P-device's stream epoch
 //   onduty <physician> on|off   edit the published on-duty list
 //   revoke family|pdevice     §IV.C REVOKE
 //   audit                     verify RD/TR records (§V.A)
@@ -236,6 +240,104 @@ void cmd_emergency(Deployment& d, const std::string& physician,
               "alerts: %d\n",
               files.size(), d.pdevice->records().size(),
               d.pdevice->alert_count());
+}
+
+// `mhi register|ingest|match|stats` — the DESIGN.md §13 streaming pipeline:
+// standing trapdoor registrations on the S-server's hub, amortized-pairing
+// window ingest from the P-device, and real-time hit delivery. The role
+// epoch is IDr = <day>|emergency|gainesville; rolling the day rolls the
+// epoch on both sides.
+Physician* find_physician(Deployment& d, const std::string& id) {
+  if (id == d.on_duty->id()) return d.on_duty.get();
+  if (id == d.off_duty->id()) return d.off_duty.get();
+  std::printf("unknown physician '%s' (try %s or %s)\n", id.c_str(),
+              d.on_duty->id().c_str(), d.off_duty->id().c_str());
+  return nullptr;
+}
+
+void cmd_mhi(Deployment& d, std::istringstream& in) {
+  auto role_for = [](const std::string& day) {
+    return mhi_role_id(day, "emergency", "gainesville");
+  };
+  std::string sub;
+  in >> sub;
+  if (sub == "register") {
+    std::string dr, day, kw;
+    in >> dr >> day >> kw;
+    if (kw.empty()) {
+      std::printf("usage: mhi register <dr> <day> <kw>\n");
+      return;
+    }
+    Physician* doc = find_physician(d, dr);
+    if (doc == nullptr) return;
+    std::string role = role_for(day);
+    auto key = doc->request_role_key(*d.aserver, role);
+    if (!key.has_value()) {
+      std::printf("A-server denied the role key (off duty?)\n");
+      return;
+    }
+    bool ok = doc->register_mhi(*d.sserver, role, *key, kw);
+    std::printf("standing query '%s' for %s under %s -> %s\n", kw.c_str(),
+                dr.c_str(), role.c_str(), ok ? "registered" : "FAILED");
+  } else if (sub == "ingest") {
+    std::string day;
+    in >> day;
+    if (day.empty()) {
+      std::printf("usage: mhi ingest <day> [kw...]\n");
+      return;
+    }
+    std::vector<std::string> kws;
+    std::string kw;
+    while (in >> kw) kws.push_back(kw);
+    MhiWindow win = generate_mhi_window(day, 16, d.patient->rng(), 0.1);
+    bool ok = d.pdevice->stream_mhi(*d.aserver, *d.sserver, role_for(day), win,
+                                    kws);
+    std::printf("streamed window for %s (%zu extra keyword(s)) -> %s; "
+                "%zu window(s) stored, %zu hit(s) pending\n",
+                day.c_str(), kws.size(), ok ? "ok" : "FAILED",
+                d.sserver->mhi_entry_count(),
+                d.sserver->mhi_hub().stats().pending);
+  } else if (sub == "match") {
+    std::string dr, day;
+    in >> dr >> day;
+    if (day.empty()) {
+      std::printf("usage: mhi match <dr> <day>\n");
+      return;
+    }
+    Physician* doc = find_physician(d, dr);
+    if (doc == nullptr) return;
+    std::string role = role_for(day);
+    auto key = doc->request_role_key(*d.aserver, role);
+    if (!key.has_value()) {
+      std::printf("A-server denied the role key (off duty?)\n");
+      return;
+    }
+    std::vector<MhiWindow> hits = doc->fetch_mhi_hits(*d.sserver, role, *key);
+    std::printf("%zu matched window(s) for %s:", hits.size(), dr.c_str());
+    for (const MhiWindow& w : hits) {
+      std::printf(" %s(%zu samples)", w.day.c_str(), w.samples.size());
+    }
+    std::printf("\n");
+  } else if (sub == "stats") {
+    MhiStreamHub::Stats st = d.sserver->mhi_hub().stats();
+    std::printf("hub: %llu window(s) ingested, %llu (registration, tag) "
+                "pair(s) tested, %llu hit(s), %zu pending\n",
+                static_cast<unsigned long long>(st.windows_ingested),
+                static_cast<unsigned long long>(st.tags_tested),
+                static_cast<unsigned long long>(st.hits), st.pending);
+    std::printf("registrations: %zu standing, %llu expired by rollover; "
+                "%zu window(s) in role buckets\n",
+                st.registrations,
+                static_cast<unsigned long long>(st.expired_registrations),
+                d.sserver->mhi_entry_count());
+    std::string epoch = d.pdevice->mhi_stream_epoch();
+    std::printf("P-device stream epoch: %s\n",
+                epoch.empty() ? "(none — no window streamed yet)"
+                              : epoch.c_str());
+  } else {
+    std::printf("usage: mhi register <dr> <day> <kw> | mhi ingest <day> "
+                "[kw...] | mhi match <dr> <day> | mhi stats\n");
+  }
 }
 
 void cmd_audit(Deployment& d) {
@@ -460,6 +562,8 @@ int main() {
         std::string doc, kw;
         in >> doc >> kw;
         cmd_emergency(d, doc, kw);
+      } else if (cmd == "mhi") {
+        cmd_mhi(d, in);
       } else if (cmd == "onduty") {
         std::string doc, state;
         in >> doc >> state;
@@ -492,7 +596,9 @@ int main() {
             "store <n> | store attach <dir>|stats|compact|verify | "
             "sse add <name> [kw...]|del <id>|compact|stats | "
             "keywords | retrieve <kw> | family <kw> | "
-            "emergency <dr> <kw> | onduty <dr> on|off | revoke "
+            "emergency <dr> <kw> | "
+            "mhi register <dr> <day> <kw>|ingest <day> [kw...]|"
+            "match <dr> <day>|stats | onduty <dr> on|off | revoke "
             "family|pdevice | audit | ledger verify|proof <seq>|anchor|show "
             "| stats | metrics [json|prom] | trace on|off|show|clear | "
             "quit\n");

@@ -70,7 +70,8 @@ SServer::SServer(sim::Network& net, const AServer& authority, std::string id,
       service_id_(service_id.empty() ? id_ : std::move(service_id)),
       ctx_(&authority.ctx()),
       self_key_(authority.provision(service_id_)),
-      nu_deriver_(*ctx_, self_key_) {}
+      nu_deriver_(*ctx_, self_key_),
+      mhi_hub_(*ctx_) {}
 
 std::string SServer::account_key(BytesView tp, const std::string& collection) {
   return hex_encode(tp) + "/" + collection;
@@ -327,12 +328,17 @@ Bytes SServer::export_state() const {
     w.bytes(acct.d);
     w.bytes(acct.be_blob);
   }
-  w.u32(static_cast<uint32_t>(mhi_store_.size()));
-  for (const MhiEntry& e : mhi_store_) {
-    w.str(e.role_id);
-    w.u32(static_cast<uint32_t>(e.tags.size()));
-    for (const peks::PeksCiphertext& t : e.tags) w.bytes(t.to_bytes());
-    w.bytes(e.ibe_blob);
+  // Role-bucketed in memory, but the wire format is unchanged from v2: a
+  // flat entry list carrying its role_id (bucket order instead of arrival
+  // order — import rebuilds the same buckets either way).
+  w.u32(static_cast<uint32_t>(mhi_entry_count()));
+  for (const auto& [role_id, entries] : mhi_store_) {
+    for (const MhiEntry& e : entries) {
+      w.str(role_id);
+      w.u32(static_cast<uint32_t>(e.tags.size()));
+      for (const peks::PeksCiphertext& t : e.tags) w.bytes(t.to_bytes());
+      w.bytes(e.ibe_blob);
+    }
   }
   return w.take();
 }
@@ -354,17 +360,17 @@ bool SServer::import_state(BytesView state) {
       acct.be_blob = r.bytes();
       accounts.emplace(std::move(key), std::move(acct));
     }
-    std::vector<MhiEntry> mhi;
+    std::map<std::string, std::vector<MhiEntry>> mhi;
     size_t m = r.count32(12);  // each entry: three u32 prefixes
     for (size_t i = 0; i < m; ++i) {
+      std::string role_id = r.str();
       MhiEntry e;
-      e.role_id = r.str();
       size_t tags = r.count32(4);  // each tag: u32 length prefix
       for (size_t t = 0; t < tags; ++t) {
         e.tags.push_back(peks::PeksCiphertext::from_bytes(*ctx_, r.bytes()));
       }
       e.ibe_blob = r.bytes();
-      mhi.push_back(std::move(e));
+      mhi[role_id].push_back(std::move(e));
     }
     if (!r.done()) return false;  // trailing junk
     accounts_ = std::move(accounts);
@@ -399,9 +405,11 @@ size_t SServer::stored_bytes() const {
     total += acct.index->size_bytes() + acct.files.size_bytes() +
              acct.log.size_bytes() + acct.d.size() + acct.be_blob.size();
   }
-  for (const MhiEntry& e : mhi_store_) {
-    total += e.ibe_blob.size();
-    for (const peks::PeksCiphertext& t : e.tags) total += t.size();
+  for (const auto& [role_id, entries] : mhi_store_) {
+    for (const MhiEntry& e : entries) {
+      total += e.ibe_blob.size();
+      for (const peks::PeksCiphertext& t : e.tags) total += t.size();
+    }
   }
   return total;
 }

@@ -20,6 +20,7 @@
 #include "src/cipher/drbg.h"
 #include "src/core/errors.h"
 #include "src/core/messages.h"
+#include "src/core/mhi_stream.h"
 #include "src/core/record.h"
 #include "src/ibc/domain.h"
 #include "src/ibc/hibc.h"
@@ -182,10 +183,24 @@ class SServer {
   bool handle_compact(const CompactRequest& req);
   // §IV.C REVOKE — re-key d and replace BE_U(d).
   bool handle_revoke(const RevokeRequest& req);
-  // §IV.E.2 — MHI storage and role-based PEKS search.
+  // §IV.E.2 — MHI storage and role-based PEKS search. Stored windows are
+  // also fed through the streaming hub (DESIGN.md §13), so standing
+  // registrations see them the moment they land.
   bool handle_mhi_store(const MhiStoreRequest& req);
   std::optional<MhiRetrieveResponse> handle_mhi_retrieve(
       const MhiRetrieveRequest& req);
+  // DESIGN.md §13 — standing-query registration and hit drain.
+  bool handle_mhi_register(const MhiRegisterRequest& req);
+  std::optional<MhiHitsResponse> handle_mhi_hits(const MhiHitsRequest& req);
+
+  /// The streaming-MHI hub holding standing trapdoor registrations.
+  [[nodiscard]] MhiStreamHub& mhi_hub() noexcept { return mhi_hub_; }
+  [[nodiscard]] const MhiStreamHub& mhi_hub() const noexcept {
+    return mhi_hub_;
+  }
+  /// Shards the hub's and the retrieval path's batched final exponentiations
+  /// onto `pool` (nullptr = serial). The pool must outlive the server.
+  void attach_mhi_pool(par::ThreadPool* pool) noexcept { mhi_pool_ = pool; }
 
   /// ν for a presented pseudonym: ê(Γ_S, TPp).
   [[nodiscard]] Bytes shared_key_for(BytesView tp_bytes) const;
@@ -212,7 +227,9 @@ class SServer {
   [[nodiscard]] std::vector<std::string> visible_account_ids() const;
   [[nodiscard]] size_t stored_bytes() const;
   [[nodiscard]] size_t mhi_entry_count() const noexcept {
-    return mhi_store_.size();
+    size_t n = 0;
+    for (const auto& [role, entries] : mhi_store_) n += entries.size();
+    return n;
   }
 
   /// Copies every account into immutable snapshots for the concurrent SEARCH
@@ -257,7 +274,6 @@ class SServer {
     Bytes be_blob;
   };
   struct MhiEntry {
-    std::string role_id;
     std::vector<peks::PeksCiphertext> tags;
     Bytes ibe_blob;
   };
@@ -297,7 +313,11 @@ class SServer {
   curve::Point self_key_;  // Γ_S (for service_id_)
   ibc::SharedKeyDeriver nu_deriver_;  // fixed-Γ_S ν/ρ precomputation
   std::map<std::string, Account> accounts_;
-  std::vector<MhiEntry> mhi_store_;
+  // Indexed by role_id so a retrieve or streamed ingest touches only its
+  // role's bucket, never the whole store.
+  std::map<std::string, std::vector<MhiEntry>> mhi_store_;
+  MhiStreamHub mhi_hub_;
+  par::ThreadPool* mhi_pool_ = nullptr;
   store::AccountStore store_;  // unopened until attach_store()
 };
 
@@ -553,6 +573,22 @@ class PDevice {
                              const std::string& role_id,
                              std::span<const std::string> extra_keywords);
 
+  /// Streaming upload (DESIGN.md §13): encrypts and uploads ONE window for
+  /// the current role epoch, with the per-epoch pairings cached across
+  /// calls (first window of an epoch pays them; the rest are pairing-free).
+  /// Passing a different `role_id` than the previous call rolls the epoch.
+  Result<void> try_stream_mhi(const AServer& authority, SServer& server,
+                              const std::string& role_id,
+                              const MhiWindow& window,
+                              std::span<const std::string> extra_keywords);
+  bool stream_mhi(const AServer& authority, SServer& server,
+                  const std::string& role_id, const MhiWindow& window,
+                  std::span<const std::string> extra_keywords);
+  /// The streaming encryptor's current epoch, empty when none started.
+  [[nodiscard]] std::string mhi_stream_epoch() const {
+    return mhi_ingestor_ ? mhi_ingestor_->role_id() : std::string{};
+  }
+
   [[nodiscard]] const std::vector<RdRecord>& records() const noexcept {
     return rd_log_;
   }
@@ -581,6 +617,7 @@ class PDevice {
   uint64_t session_t11_ = 0;
   Bytes session_aserver_sig_;
   std::vector<MhiWindow> mhi_;
+  std::optional<MhiIngestor> mhi_ingestor_;  // lazy, rolled per epoch
   std::vector<RdRecord> rd_log_;
   ledger::Ledger rd_ledger_;
   int alerts_ = 0;
@@ -629,6 +666,22 @@ class Physician {
   Result<std::vector<MhiWindow>> try_retrieve_mhi(
       SServer& server, const std::string& role_id,
       const curve::Point& role_key, std::string_view keyword);
+
+  /// Standing query (DESIGN.md §13): parks TDr(kw) on the S-server so every
+  /// window landing for `role_id` is tested immediately; matched windows
+  /// queue up server-side until fetch_mhi_hits drains them.
+  bool register_mhi(SServer& server, const std::string& role_id,
+                    const curve::Point& role_key, std::string_view keyword);
+  Result<void> try_register_mhi(SServer& server, const std::string& role_id,
+                                const curve::Point& role_key,
+                                std::string_view keyword);
+  /// Drains and decrypts the hits this physician's standing query matched.
+  [[nodiscard]] std::vector<MhiWindow> fetch_mhi_hits(
+      SServer& server, const std::string& role_id,
+      const curve::Point& role_key);
+  Result<std::vector<MhiWindow>> try_fetch_mhi_hits(
+      SServer& server, const std::string& role_id,
+      const curve::Point& role_key);
 
  private:
   sim::Network* net_;

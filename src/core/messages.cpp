@@ -270,6 +270,30 @@ size_t MhiRetrieveResponse::wire_size() const {
   return body().size() + 8 + 32;
 }
 
+Bytes MhiRegisterRequest::body() const {
+  io::Writer w;
+  w.str(physician_id);
+  w.str(role_id);
+  w.bytes(trapdoor);
+  return w.take();
+}
+size_t MhiRegisterRequest::wire_size() const { return body().size() + 8 + 32; }
+
+Bytes MhiHitsRequest::body() const {
+  io::Writer w;
+  w.str(physician_id);
+  w.str(role_id);
+  return w.take();
+}
+size_t MhiHitsRequest::wire_size() const { return body().size() + 8 + 32; }
+
+Bytes MhiHitsResponse::body() const {
+  io::Writer w;
+  put_vec(w, ibe_blobs);
+  return w.take();
+}
+size_t MhiHitsResponse::wire_size() const { return body().size() + 8 + 32; }
+
 Bytes TraceRecord::body() const {
   io::Writer w;
   w.str(physician_id);

@@ -236,6 +236,40 @@ struct MhiRetrieveResponse {
   [[nodiscard]] size_t wire_size() const;
 };
 
+/// Standing-query registration (DESIGN.md §13): the on-duty physician parks
+/// TDr(kw) on the S-server, which then tests it against every MHI window as
+/// it lands instead of waiting for a retrieval poll.
+struct MhiRegisterRequest {
+  std::string physician_id;
+  std::string role_id;
+  Bytes trapdoor;  // TDr(kw)
+  uint64_t t = 0;
+  Bytes mac;  // HMAC_ρ
+
+  [[nodiscard]] Bytes body() const;
+  [[nodiscard]] size_t wire_size() const;
+};
+
+/// Drains the hits a standing registration has queued for this physician.
+struct MhiHitsRequest {
+  std::string physician_id;
+  std::string role_id;
+  uint64_t t = 0;
+  Bytes mac;  // HMAC_ρ
+
+  [[nodiscard]] Bytes body() const;
+  [[nodiscard]] size_t wire_size() const;
+};
+
+struct MhiHitsResponse {
+  std::vector<Bytes> ibe_blobs;  // matched IBE_IDr(window)s, oldest first
+  uint64_t t = 0;
+  Bytes mac;
+
+  [[nodiscard]] Bytes body() const;
+  [[nodiscard]] size_t wire_size() const;
+};
+
 // ---- Accountability artifacts (§IV.E.2, §V.A) ------------------------------
 /// TR, kept by the A-server: proof the physician requested emergency access.
 struct TraceRecord {

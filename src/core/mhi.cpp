@@ -14,6 +14,8 @@ namespace {
 constexpr const char* kStoreLabel = "mhi-storage";
 constexpr const char* kRetrieveLabel = "mhi-retrieval";
 constexpr const char* kRoleKeyLabel = "mhi-role-key";
+constexpr const char* kRegisterLabel = "mhi-register";
+constexpr const char* kHitsLabel = "mhi-hits";
 }  // namespace
 
 Result<void> PDevice::try_store_mhi(
@@ -90,7 +92,6 @@ bool SServer::handle_mhi_store(const MhiStoreRequest& req) {
     return false;
   }
   MhiEntry entry;
-  entry.role_id = req.role_id;
   try {
     for (const Bytes& tag : req.peks_tags) {
       entry.tags.push_back(peks::PeksCiphertext::from_bytes(*ctx_, tag));
@@ -99,7 +100,10 @@ bool SServer::handle_mhi_store(const MhiStoreRequest& req) {
     return false;
   }
   entry.ibe_blob = req.ibe_blob;
-  mhi_store_.push_back(std::move(entry));
+  // Feed the streaming hub before shelving: standing registrations for this
+  // role see the window the moment it lands (DESIGN.md §13).
+  mhi_hub_.ingest(req.role_id, entry.tags, entry.ibe_blob, mhi_pool_);
+  mhi_store_[req.role_id].push_back(std::move(entry));
   return true;
 }
 
@@ -227,18 +231,203 @@ std::optional<MhiRetrieveResponse> SServer::handle_mhi_retrieve(
     return std::nullopt;
   }
   MhiRetrieveResponse resp;
-  for (const MhiEntry& entry : mhi_store_) {
-    if (entry.role_id != req.role_id) continue;
-    for (const peks::PeksCiphertext& tag : entry.tags) {
-      if (peks::peks_test(*ctx_, tag, td)) {
-        resp.ibe_blobs.push_back(entry.ibe_blob);
-        break;
+  // Only this role's bucket is scanned, and the whole bucket is tested as
+  // one batch: the trapdoor's Miller lines are cached once, each tag costs a
+  // precomputed Miller loop, and one pool-sharded final_exp_batch finishes
+  // every (entry, tag) pair.
+  auto bucket = mhi_store_.find(req.role_id);
+  if (bucket != mhi_store_.end() && !bucket->second.empty()) {
+    std::vector<peks::PeksCiphertext> flat;
+    for (const MhiEntry& entry : bucket->second) {
+      flat.insert(flat.end(), entry.tags.begin(), entry.tags.end());
+    }
+    peks::TrapdoorPrecomp pre(*ctx_, td);
+    std::vector<uint8_t> match = pre.test_batch(flat, mhi_pool_);
+    size_t k = 0;
+    for (const MhiEntry& entry : bucket->second) {
+      bool hit = false;
+      for (size_t i = 0; i < entry.tags.size(); ++i, ++k) {
+        if (match[k]) hit = true;
       }
+      if (hit) resp.ibe_blobs.push_back(entry.ibe_blob);
     }
   }
   resp.t = net_->clock().now();
   resp.mac = protocol_mac(rho, kRetrieveLabel, resp.body(), resp.t);
   return resp;
+}
+
+// ---- Streaming MHI (DESIGN.md §13) -----------------------------------------
+
+Result<void> PDevice::try_stream_mhi(
+    const AServer& authority, SServer& server, const std::string& role_id,
+    const MhiWindow& window, std::span<const std::string> extra_keywords) {
+  if (!bundle_.has_value()) {
+    return permanent_error(ErrorCode::kPrecondition, 0,
+                           "P-device holds no privilege bundle");
+  }
+  obs::Span span("protocol:mhi_stream");
+  if (!mhi_ingestor_) {
+    mhi_ingestor_.emplace(authority.pub(), role_id);
+  } else if (mhi_ingestor_->role_id() != role_id) {
+    mhi_ingestor_->roll_epoch(role_id);
+  }
+  MhiIngestor::EncodedWindow enc =
+      mhi_ingestor_->encode(window, extra_keywords, rng_);
+  MhiStoreRequest req;
+  req.tp = bundle_->tp;
+  req.role_id = role_id;
+  req.peks_tags = std::move(enc.peks_tags);
+  req.ibe_blob = std::move(enc.ibe_blob);
+  req.t = net_->clock().now();
+  req.mac = protocol_mac(bundle_->nu, kStoreLabel, req.body(), req.t);
+  sim::CallOutcome<bool> out = net_->transport().request<bool>(
+      id_, server.id(), req.wire_size(), req.mac, kStoreLabel,
+      [&]() -> std::optional<bool> {
+        return server.handle_mhi_store(req) ? std::optional<bool>(true)
+                                            : std::nullopt;
+      },
+      [](const bool&) { return size_t{0}; });
+  if (out.status == sim::CallStatus::kRejected) {
+    return permanent_error(ErrorCode::kRejected, out.attempts,
+                           "S-server refused the streamed MHI window");
+  }
+  if (out.status == sim::CallStatus::kExhausted) {
+    return transient_error(ErrorCode::kTimeout, out.attempts,
+                           "streamed MHI window undelivered after retries");
+  }
+  return {};
+}
+
+bool PDevice::stream_mhi(const AServer& authority, SServer& server,
+                         const std::string& role_id, const MhiWindow& window,
+                         std::span<const std::string> extra_keywords) {
+  return try_stream_mhi(authority, server, role_id, window, extra_keywords)
+      .ok();
+}
+
+bool SServer::handle_mhi_register(const MhiRegisterRequest& req) {
+  obs::Span span("sserver:mhi_register");
+  // Server side of ρ — same role-based pairwise key as retrieval.
+  curve::Point role_pk = ibc::Domain::public_key(*ctx_, req.role_id);
+  Bytes rho = nu_deriver_.with_point(role_pk);
+  if (!protocol_mac_ok(rho, kRegisterLabel, req.body(), req.t, req.mac)) {
+    return false;
+  }
+  if (!net_->accept_fresh(id_, req.mac, req.t, kFreshnessWindowNs)) {
+    return false;
+  }
+  peks::Trapdoor td;
+  try {
+    td = peks::Trapdoor::from_bytes(*ctx_, req.trapdoor);
+  } catch (const std::exception&) {
+    return false;
+  }
+  mhi_hub_.register_trapdoor(req.physician_id, req.role_id, td);
+  return true;
+}
+
+std::optional<MhiHitsResponse> SServer::handle_mhi_hits(
+    const MhiHitsRequest& req) {
+  obs::Span span("sserver:mhi_hits");
+  curve::Point role_pk = ibc::Domain::public_key(*ctx_, req.role_id);
+  Bytes rho = nu_deriver_.with_point(role_pk);
+  if (!protocol_mac_ok(rho, kHitsLabel, req.body(), req.t, req.mac)) {
+    return std::nullopt;
+  }
+  if (!net_->accept_fresh(id_, req.mac, req.t, kFreshnessWindowNs)) {
+    return std::nullopt;
+  }
+  MhiHitsResponse resp;
+  for (MhiHit& hit : mhi_hub_.drain_hits(req.physician_id, req.role_id)) {
+    resp.ibe_blobs.push_back(std::move(hit.ibe_blob));
+  }
+  resp.t = net_->clock().now();
+  resp.mac = protocol_mac(rho, kHitsLabel, resp.body(), resp.t);
+  return resp;
+}
+
+Result<void> Physician::try_register_mhi(SServer& server,
+                                         const std::string& role_id,
+                                         const curve::Point& role_key,
+                                         std::string_view keyword) {
+  obs::Span span("protocol:mhi_register");
+  Bytes rho = ibc::shared_key_with_id(*ctx_, role_key, server.service_id());
+  MhiRegisterRequest req;
+  req.physician_id = id_;
+  req.role_id = role_id;
+  req.trapdoor = peks::peks_trapdoor(*ctx_, role_key, keyword).to_bytes();
+  req.t = net_->clock().now();
+  req.mac = protocol_mac(rho, kRegisterLabel, req.body(), req.t);
+  sim::CallOutcome<bool> out = net_->transport().request<bool>(
+      id_, server.id(), req.wire_size(), req.mac, kRegisterLabel,
+      [&]() -> std::optional<bool> {
+        return server.handle_mhi_register(req) ? std::optional<bool>(true)
+                                               : std::nullopt;
+      },
+      [](const bool&) { return size_t{0}; });
+  if (out.status == sim::CallStatus::kExhausted) {
+    return transient_error(ErrorCode::kTimeout, out.attempts,
+                           "MHI registration undelivered after retries");
+  }
+  if (out.status == sim::CallStatus::kRejected) {
+    return permanent_error(ErrorCode::kRejected, out.attempts,
+                           "S-server refused the MHI registration");
+  }
+  return {};
+}
+
+bool Physician::register_mhi(SServer& server, const std::string& role_id,
+                             const curve::Point& role_key,
+                             std::string_view keyword) {
+  return try_register_mhi(server, role_id, role_key, keyword).ok();
+}
+
+Result<std::vector<MhiWindow>> Physician::try_fetch_mhi_hits(
+    SServer& server, const std::string& role_id,
+    const curve::Point& role_key) {
+  obs::Span span("protocol:mhi_hits");
+  Bytes rho = ibc::shared_key_with_id(*ctx_, role_key, server.service_id());
+  MhiHitsRequest req;
+  req.physician_id = id_;
+  req.role_id = role_id;
+  req.t = net_->clock().now();
+  req.mac = protocol_mac(rho, kHitsLabel, req.body(), req.t);
+  sim::CallOutcome<MhiHitsResponse> out =
+      net_->transport().request<MhiHitsResponse>(
+          id_, server.id(), req.wire_size(), req.mac, kHitsLabel,
+          [&]() { return server.handle_mhi_hits(req); },
+          [](const MhiHitsResponse& r) { return r.wire_size(); });
+  if (out.status == sim::CallStatus::kExhausted) {
+    return transient_error(ErrorCode::kTimeout, out.attempts,
+                           "MHI hit drain undelivered after retries");
+  }
+  if (out.status == sim::CallStatus::kRejected) {
+    return permanent_error(ErrorCode::kRejected, out.attempts,
+                           "S-server refused the MHI hit drain");
+  }
+  const MhiHitsResponse& resp = *out.response;
+  if (!protocol_mac_ok(rho, kHitsLabel, resp.body(), resp.t, resp.mac)) {
+    return permanent_error(ErrorCode::kBadResponse, out.attempts,
+                           "MHI hits response failed authentication");
+  }
+  std::vector<MhiWindow> windows;
+  ibc::IbeDecryptor decryptor(*ctx_, role_key);
+  for (const Bytes& blob : resp.ibe_blobs) {
+    try {
+      ibc::IbeCiphertext ct = ibc::IbeCiphertext::from_bytes(*ctx_, blob);
+      windows.push_back(MhiWindow::from_bytes(decryptor.decrypt(ct)));
+    } catch (const std::exception&) {
+      // skip undecryptable entries
+    }
+  }
+  return windows;
+}
+
+std::vector<MhiWindow> Physician::fetch_mhi_hits(SServer& server,
+                                                 const std::string& role_id,
+                                                 const curve::Point& role_key) {
+  return try_fetch_mhi_hits(server, role_id, role_key).value_or({});
 }
 
 }  // namespace hcpp::core

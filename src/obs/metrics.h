@@ -141,6 +141,17 @@ inline constexpr const char* kLoadSearchNs = "load.search_ns";
 inline constexpr const char* kLoadRetrieveNs = "load.retrieve_ns";
 inline constexpr const char* kLoadEmergencyNs = "load.emergency_ns";
 
+// Streaming MHI pipeline (src/core/mhi_stream.cpp): standing-query matching
+// of PEKS tags as windows land. tags_tested counts (registration, tag)
+// pairs; ingest_ns is the hub-side wall time of one window's test batch.
+inline constexpr const char* kMhiWindowsIngested = "mhi.windows_ingested";
+inline constexpr const char* kMhiTagsTested = "mhi.tags_tested";
+inline constexpr const char* kMhiHits = "mhi.hits";
+inline constexpr const char* kMhiRegistrations = "mhi.registrations";
+inline constexpr const char* kMhiExpiredRegistrations =
+    "mhi.expired_registrations";
+inline constexpr const char* kMhiIngestNs = "mhi.ingest_ns";
+
 // Replication / failover (src/core/cluster.cpp and the failover loops).
 inline constexpr const char* kSGroupFailover = "cluster.sserver.failover";
 inline constexpr const char* kSGroupMirrorWrites =

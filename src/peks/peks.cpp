@@ -5,6 +5,7 @@
 #include "src/common/serialize.h"
 #include "src/hash/hkdf.h"
 #include "src/hash/sha256.h"
+#include "src/par/pool.h"
 
 namespace hcpp::peks {
 
@@ -34,17 +35,27 @@ mp::U512 keyword_set_scalar(const curve::CurveCtx& ctx,
   return h;
 }
 
-PeksCiphertext encrypt_with_scalar(const ibc::PublicParams& pub,
-                                   std::string_view role_id, const mp::U512& h,
-                                   RandomSource& rng, Variant variant) {
+// g_r = ê(PK_r, Ppub) — the role-identity pairing base every tag for that
+// role is a power of. This is the value PeksEncryptor caches per epoch.
+curve::Gt role_pairing_base(const ibc::PublicParams& pub,
+                            std::string_view role_id) {
   const curve::CurveCtx& ctx = *pub.ctx;
-  mp::U512 sigma = curve::random_scalar(ctx, rng);
   curve::Point pk_r = ibc::Domain::public_key(ctx, role_id);
+  return curve::pairing(ctx, pk_r, pub.p_pub);
+}
+
+// Shared tail of the cold and cached encrypt paths. Draws from `rng` in the
+// same order as the original monolithic implementation (sigma, then R), so
+// cached and cold tags are bit-identical for identical RNG streams — the
+// property the differential oracle in tests/test_peks.cpp pins down.
+PeksCiphertext tag_from_base(const curve::CurveCtx& ctx, const curve::Gt& g_r,
+                             const mp::U512& h, RandomSource& rng,
+                             Variant variant) {
+  mp::U512 sigma = curve::random_scalar(ctx, rng);
   PeksCiphertext ct;
   ct.variant = variant;
   ct.a = curve::mul_generator(ctx, sigma);
-  curve::Gt g = curve::pairing(ctx, pk_r, pub.p_pub)
-                    .pow(mp::mul_mod(sigma, h, ctx.q));
+  curve::Gt g = g_r.pow(mp::mul_mod(sigma, h, ctx.q));
   if (variant == Variant::kBdop) {
     ct.b = h3(g);
   } else {
@@ -53,6 +64,24 @@ PeksCiphertext encrypt_with_scalar(const ibc::PublicParams& pub,
     ct.check = hash::sha256_bytes(r_val);
   }
   return ct;
+}
+
+PeksCiphertext encrypt_with_scalar(const ibc::PublicParams& pub,
+                                   std::string_view role_id, const mp::U512& h,
+                                   RandomSource& rng, Variant variant) {
+  return tag_from_base(*pub.ctx, role_pairing_base(pub, role_id), h, rng,
+                       variant);
+}
+
+// The per-variant tag comparison shared by the scalar and batched tests.
+bool tag_matches(const PeksCiphertext& ct, const curve::Gt& g) {
+  Bytes mask = h3(g);
+  if (ct.variant == Variant::kBdop) {
+    return ct_equal(mask, ct.b);
+  }
+  if (ct.b.size() != mask.size()) return false;
+  Bytes r_val = xor_bytes(ct.b, mask);
+  return ct_equal(hash::sha256_bytes(r_val), ct.check);
 }
 
 }  // namespace
@@ -87,13 +116,49 @@ Trapdoor peks_trapdoor_set(const curve::CurveCtx& ctx,
 
 bool peks_test(const curve::CurveCtx& ctx, const PeksCiphertext& ct,
                const Trapdoor& td) {
-  Bytes mask = h3(curve::pairing(ctx, td.td, ct.a));
-  if (ct.variant == Variant::kBdop) {
-    return ct_equal(mask, ct.b);
+  return tag_matches(ct, curve::pairing(ctx, td.td, ct.a));
+}
+
+std::vector<uint8_t> peks_test_batch(const curve::CurveCtx& ctx,
+                                     std::span<const PeksCiphertext> cts,
+                                     const Trapdoor& td,
+                                     par::ThreadPool* pool) {
+  return TrapdoorPrecomp(ctx, td).test_batch(cts, pool);
+}
+
+TrapdoorPrecomp::TrapdoorPrecomp(const curve::CurveCtx& ctx,
+                                 const Trapdoor& td)
+    : ctx_(&ctx), td_(td), pre_(ctx, td.td) {}
+
+bool TrapdoorPrecomp::test(const PeksCiphertext& ct) const {
+  return tag_matches(ct, pre_.pairing_with(ct.a));
+}
+
+field::Fp2 TrapdoorPrecomp::miller(const PeksCiphertext& ct) const {
+  return pre_.miller_with(ct.a);
+}
+
+bool TrapdoorPrecomp::matches(const PeksCiphertext& ct, const curve::Gt& g) {
+  return tag_matches(ct, g);
+}
+
+std::vector<uint8_t> TrapdoorPrecomp::test_batch(
+    std::span<const PeksCiphertext> cts, par::ThreadPool* pool) const {
+  std::vector<field::Fp2> millers(cts.size());
+  auto run = [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) millers[i] = pre_.miller_with(cts[i].a);
+  };
+  if (pool != nullptr) {
+    pool->for_shards(cts.size(), run);
+  } else {
+    par::serial_shards(cts.size(), run);
   }
-  if (ct.b.size() != mask.size()) return false;
-  Bytes r_val = xor_bytes(ct.b, mask);
-  return ct_equal(hash::sha256_bytes(r_val), ct.check);
+  std::vector<curve::Gt> gs = curve::final_exp_batch(*ctx_, millers, pool);
+  std::vector<uint8_t> out(cts.size());
+  for (size_t i = 0; i < cts.size(); ++i) {
+    out[i] = tag_matches(cts[i], gs[i]) ? 1 : 0;
+  }
+  return out;
 }
 
 Bytes PeksCiphertext::to_bytes() const {
@@ -118,7 +183,41 @@ PeksCiphertext PeksCiphertext::from_bytes(const curve::CurveCtx& ctx,
   return ct;
 }
 
-size_t PeksCiphertext::size() const { return to_bytes().size(); }
+size_t PeksCiphertext::size() const {
+  // Mirrors to_bytes() arithmetically: u8 variant, then three u32-length-
+  // prefixed fields — the 129-byte point encoding (1 byte if at infinity),
+  // the tag and the kRandomized check value.
+  const size_t point_len = a.infinity ? 1 : 1 + 2 * 64;
+  return 1 + (4 + point_len) + (4 + b.size()) + (4 + check.size());
+}
+
+PeksCiphertext PeksEncryptor::encrypt(std::string_view role_id,
+                                      std::string_view kw, RandomSource& rng,
+                                      Variant variant) {
+  return tag_from_base(*pub_.ctx, role_base(role_id),
+                       keyword_scalar(*pub_.ctx, kw), rng, variant);
+}
+
+PeksCiphertext PeksEncryptor::encrypt_set(std::string_view role_id,
+                                          std::span<const std::string> keywords,
+                                          RandomSource& rng, Variant variant) {
+  return tag_from_base(*pub_.ctx, role_base(role_id),
+                       keyword_set_scalar(*pub_.ctx, keywords), rng, variant);
+}
+
+void PeksEncryptor::evict(std::string_view role_id) {
+  auto it = cache_.find(role_id);
+  if (it != cache_.end()) cache_.erase(it);
+}
+
+const curve::Gt& PeksEncryptor::role_base(std::string_view role_id) {
+  auto it = cache_.find(role_id);
+  if (it == cache_.end()) {
+    it = cache_.emplace(std::string(role_id), role_pairing_base(pub_, role_id))
+             .first;
+  }
+  return it->second;
+}
 
 Bytes Trapdoor::to_bytes() const { return curve::point_to_bytes(td); }
 

@@ -15,6 +15,8 @@
 // is provided as SearchableTag::kRandomized.
 #pragma once
 
+#include <map>
+
 #include "src/ibc/domain.h"
 
 namespace hcpp::peks {
@@ -57,6 +59,74 @@ Trapdoor peks_trapdoor(const curve::CurveCtx& ctx,
 /// Server-side test — learns only whether the keyword matches.
 bool peks_test(const curve::CurveCtx& ctx, const PeksCiphertext& ct,
                const Trapdoor& td);
+
+/// Batched server-side test: one `PairingPrecomp` on the trapdoor caches its
+/// Miller lines, each candidate tag then costs one cheap precomputed Miller
+/// loop, and a single `final_exp_batch` (one shared modular inversion,
+/// pool-sharded cofactor powers) finishes all of them. Element i equals
+/// `peks_test(ctx, cts[i], td)`.
+std::vector<uint8_t> peks_test_batch(const curve::CurveCtx& ctx,
+                                     std::span<const PeksCiphertext> cts,
+                                     const Trapdoor& td,
+                                     par::ThreadPool* pool = nullptr);
+
+/// Standing-query form of the batched test: the trapdoor's Miller line cache
+/// is built once at registration time and reused across many ingest batches
+/// (see src/core/mhi_stream.h). `miller()` exposes the pre-final-
+/// exponentiation pairing value so callers testing several trapdoors against
+/// the same tags can drain ONE `final_exp_batch` over all (trapdoor, tag)
+/// pairs; `matches()` applies the per-variant tag comparison to the finished
+/// value.
+class TrapdoorPrecomp {
+ public:
+  TrapdoorPrecomp(const curve::CurveCtx& ctx, const Trapdoor& td);
+
+  [[nodiscard]] bool test(const PeksCiphertext& ct) const;
+  [[nodiscard]] std::vector<uint8_t> test_batch(
+      std::span<const PeksCiphertext> cts,
+      par::ThreadPool* pool = nullptr) const;
+
+  [[nodiscard]] field::Fp2 miller(const PeksCiphertext& ct) const;
+  [[nodiscard]] static bool matches(const PeksCiphertext& ct,
+                                    const curve::Gt& g);
+  [[nodiscard]] const Trapdoor& trapdoor() const { return td_; }
+
+ private:
+  const curve::CurveCtx* ctx_;
+  Trapdoor td_;
+  curve::PairingPrecomp pre_;
+};
+
+/// Encrypt-side amortization for streaming tag generation. `peks_encrypt`
+/// pays a hash-to-point H1(IDr) plus a full pairing ê(PK_r, Ppub) per tag,
+/// but both depend only on the role identity — so PeksEncryptor caches
+/// g_r = ê(PK_r, Ppub) per role epoch and each subsequent tag for that role
+/// costs one fixed-base generator mul plus one Gt exponentiation. Outputs
+/// are bit-identical to `peks_encrypt` given the same RNG stream.
+class PeksEncryptor {
+ public:
+  explicit PeksEncryptor(const ibc::PublicParams& pub) : pub_(pub) {}
+
+  PeksCiphertext encrypt(std::string_view role_id, std::string_view kw,
+                         RandomSource& rng, Variant variant = Variant::kBdop);
+  PeksCiphertext encrypt_set(std::string_view role_id,
+                             std::span<const std::string> keywords,
+                             RandomSource& rng,
+                             Variant variant = Variant::kBdop);
+
+  /// Epoch rollover: drops the cached base for `role_id` (the next tag for
+  /// that role re-derives it with a fresh hash-to-point + pairing).
+  void evict(std::string_view role_id);
+  void clear() { cache_.clear(); }
+  [[nodiscard]] size_t cached_roles() const { return cache_.size(); }
+  [[nodiscard]] const ibc::PublicParams& pub() const { return pub_; }
+
+ private:
+  const curve::Gt& role_base(std::string_view role_id);
+
+  ibc::PublicParams pub_;
+  std::map<std::string, curve::Gt, std::less<>> cache_;
+};
 
 // ---- Conjunctive multi-keyword extension ----------------------------------
 // §IV.E: "The single keyword PEKS shown above can be easily extended to

@@ -28,6 +28,13 @@
 #                           layer: per-file ADD/DELETE vs full rebuild at
 #                           1k/10k files, SEARCH with a pending update log,
 #                           compaction fold — the E11 numbers)
+#   BENCH_mhi.json        — bench_mhi (DESIGN.md §13 streaming MHI: cold vs
+#                           cached PEKS tag encryption, scalar vs batched
+#                           PEKS test at 64 candidate tags — the two
+#                           amortization ratios land in a "speedups" block —
+#                           plus end-to-end window encode/ingest rates and
+#                           the standing-query match latency p50/p95/p99
+#                           from the mhi.ingest_ns obs histogram)
 #
 # Usage: tools/run_benchmarks.sh [build-dir]
 # Always configures the bench build directory with an explicit optimized
@@ -66,10 +73,10 @@ cmake -B "$build_dir" -S "$repo_root" -DHCPP_BENCH=ON \
   -DCMAKE_BUILD_TYPE="$build_type"
 cmake --build "$build_dir" -j "$(nproc)" \
   --target bench_computation bench_protocols bench_throughput bench_ledger \
-           bench_load bench_sse hcpp_cpuinfo
+           bench_load bench_sse bench_mhi hcpp_cpuinfo
 
 for bin in bench_computation bench_protocols bench_throughput bench_ledger \
-           bench_load bench_sse; do
+           bench_load bench_sse bench_mhi; do
   if [[ ! -x "$build_dir/bench/$bin" ]]; then
     echo "error: $build_dir/bench/$bin still missing after the build" \
          "(HCPP_BENCH=OFF in the cache?)" >&2
@@ -241,3 +248,28 @@ if build != "release":
 EOF
 inject_cpuinfo "$repo_root/BENCH_sse.json"
 echo "wrote $repo_root/BENCH_sse.json"
+
+# bench_mhi writes its own JSON; same debug-build guard. It exits non-zero
+# (and writes nothing) if the batched PEKS test diverges from the scalar
+# oracle, so a present report implies the fast path matched bit-for-bit.
+"$build_dir/bench/bench_mhi" \
+  --json-out="$repo_root/BENCH_mhi.json"
+python3 - "$repo_root/BENCH_mhi.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    report = json.load(f)
+build = report.get("context", {}).get("library_build_type", "missing")
+if build != "release":
+    import os
+    os.unlink(path)
+    sys.exit(f"error: mhi report says library_build_type={build!r}; "
+             "refusing to keep numbers from a non-optimized build")
+if report.get("ingest_latency_ns", {}).get("count", 0) == 0:
+    import os
+    os.unlink(path)
+    sys.exit("error: mhi report has no ingest latency samples; "
+             "was the obs registry attached?")
+EOF
+inject_cpuinfo "$repo_root/BENCH_mhi.json"
+echo "wrote $repo_root/BENCH_mhi.json"
